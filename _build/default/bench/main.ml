@@ -1,0 +1,155 @@
+(* Benchmark driver: regenerates every experiment table (E1..E11, the
+   paper's theorems/lemmas as measurements — see DESIGN.md) and then
+   runs the Bechamel micro-benchmarks for the hot primitives (E12).
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- tables  -- experiment tables only
+     dune exec bench/main.exe -- micro   -- micro-benchmarks only
+     dune exec bench/main.exe -- e4      -- one experiment *)
+
+open Bechamel
+open Toolkit
+
+let sbls_k k =
+  let sys = Sbft_labels.Sbls.system ~k in
+  let rng = Sbft_sim.Rng.create 3L in
+  let inputs = List.init k (fun _ -> Sbft_labels.Sbls.random sys rng) in
+  Test.make
+    ~name:(Printf.sprintf "sbls.next k=%d" k)
+    (Staged.stage (fun () -> ignore (Sbft_labels.Sbls.next sys inputs)))
+
+let wtsg_build n =
+  let sys = Sbft_labels.Sbls.system ~k:n in
+  let rng = Sbft_sim.Rng.create 5L in
+  let witnesses =
+    List.concat_map
+      (fun server ->
+        List.init 6 (fun rank ->
+            {
+              Sbft_labels.Wtsg.server;
+              value = 100 + rank;
+              ts = Sbft_labels.Mw_ts.random sys rng ~clients:4;
+              rank;
+            }))
+      (List.init n (fun i -> i))
+  in
+  Test.make
+    ~name:(Printf.sprintf "wtsg.build+best n=%d" n)
+    (Staged.stage (fun () ->
+         let g = Sbft_labels.Wtsg.build witnesses in
+         ignore (Sbft_labels.Wtsg.best g ~min_weight:3)))
+
+let end_to_end n f =
+  Test.make
+    ~name:(Printf.sprintf "sim: system n=%d + write + read" n)
+    (Staged.stage (fun () ->
+         let cfg = Sbft_core.Config.make ~n ~f ~clients:2 () in
+         let sys = Sbft_core.System.create ~seed:7L cfg in
+         Sbft_core.System.write sys ~client:n ~value:1
+           ~k:(fun () -> Sbft_core.System.read sys ~client:(n + 1) ())
+           ();
+         Sbft_core.System.quiesce sys))
+
+let kv_roundtrip () =
+  Test.make ~name:"kv: 4-shard store, put+get"
+    (Staged.stage (fun () ->
+         let kv = Sbft_kv.Store.create ~seed:7L ~shards:4 ~n:6 ~f:1 ~clients:2 () in
+         Sbft_kv.Store.put kv ~client:0 ~key:"k" ~value:1
+           ~k:(fun () -> Sbft_kv.Store.get kv ~client:1 ~key:"k" ())
+           ();
+         Sbft_kv.Store.quiesce kv))
+
+let datalink_burst () =
+  Test.make ~name:"datalink: 20 msgs over lossy channel"
+    (Staged.stage (fun () ->
+         let engine = Sbft_sim.Engine.create ~seed:5L () in
+         let dl =
+           Sbft_channel.Datalink.create engine ~capacity:4 ~loss:0.2 ~max_delay:4
+             ~deliver:(fun (_ : int) -> ())
+             ()
+         in
+         for i = 1 to 20 do
+           Sbft_channel.Datalink.send dl i
+         done;
+         Sbft_sim.Engine.run engine))
+
+let explorer_point () =
+  Test.make ~name:"explorer: one audited schedule"
+    (Staged.stage (fun () ->
+         let cfg = Sbft_core.Config.make ~n:6 ~f:1 ~clients:3 () in
+         let sys = Sbft_core.System.create ~seed:3L cfg in
+         let reg = Sbft_harness.Register.core sys in
+         let _ =
+           Sbft_harness.Workload.run
+             ~spec:{ Sbft_harness.Workload.default with ops_per_client = 8 }
+             reg
+         in
+         ignore (reg.check_regular ~after:0 ())))
+
+let regularity_check () =
+  (* A fixed mixed history, checked repeatedly. *)
+  let cfg = Sbft_core.Config.make ~n:6 ~f:1 ~clients:4 () in
+  let sys = Sbft_core.System.create ~seed:9L cfg in
+  let reg = Sbft_harness.Register.core sys in
+  let _ =
+    Sbft_harness.Workload.run
+      ~spec:{ Sbft_harness.Workload.default with ops_per_client = 25 }
+      reg
+  in
+  Test.make ~name:"spec: regularity check (100-op history)"
+    (Staged.stage (fun () -> ignore (reg.check_regular ~after:0 ())))
+
+let micro () =
+  let tests =
+    Test.make_grouped ~name:"sbft"
+      [
+        sbls_k 6;
+        sbls_k 21;
+        wtsg_build 6;
+        wtsg_build 21;
+        end_to_end 6 1;
+        end_to_end 11 2;
+        regularity_check ();
+        kv_roundtrip ();
+        datalink_burst ();
+        explorer_point ();
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "== E12: micro-benchmarks (Bechamel, monotonic clock) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      let est = match Analyze.OLS.estimates v with Some [ e ] -> e | _ -> nan in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "%-42s (no estimate)\n" name
+      else if est > 1_000_000.0 then Printf.printf "%-42s %10.2f ms/run\n" name (est /. 1_000_000.0)
+      else if est > 1_000.0 then Printf.printf "%-42s %10.2f us/run\n" name (est /. 1_000.0)
+      else Printf.printf "%-42s %10.0f ns/run\n" name est)
+    (List.sort compare !rows)
+
+let tables () = List.iter Sbft_harness.Table.print (Sbft_harness.Experiments.all ())
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "tables" :: _ -> tables ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ :: id :: _ -> (
+      match Sbft_harness.Experiments.by_id id with
+      | Some f -> Sbft_harness.Table.print (f ())
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s, tables, micro\n" id
+            (String.concat ", " Sbft_harness.Experiments.ids);
+          exit 1)
+  | _ ->
+      tables ();
+      micro ()

@@ -1,0 +1,336 @@
+(* sbftreg — command-line driver for the stabilizing BFT register.
+
+   Subcommands:
+     run        simulate a workload and audit it against the spec
+     experiment run one experiment table (or "all")
+     attack     replay the Theorem 1 lower-bound schedule
+     labels     poke at the bounded labeling system
+     trace      run a tiny scenario with the event trace enabled *)
+
+open Cmdliner
+
+let outcome_str = function
+  | Sbft_spec.History.Value v -> Printf.sprintf "value %d" v
+  | Sbft_spec.History.Abort -> "abort"
+  | Sbft_spec.History.Incomplete -> "incomplete"
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let go n f clients seed ops write_ratio strategy corrupt =
+    let cfg = Sbft_core.Config.make ~allow_unsafe:true ~n ~f ~clients () in
+    let sys = Sbft_core.System.create ~seed cfg in
+    (match strategy with
+    | None -> ()
+    | Some name -> (
+        match List.assoc_opt name Sbft_byz.Strategies.all with
+        | Some s -> ignore (Sbft_byz.Strategy.install_all sys s)
+        | None ->
+            Printf.eprintf "unknown strategy %S; known: %s\n" name
+              (String.concat ", " (List.map fst Sbft_byz.Strategies.all));
+            exit 1));
+    if corrupt then Sbft_core.System.corrupt_everything sys ~severity:`Heavy;
+    let reg = Sbft_harness.Register.core sys in
+    let spec = { Sbft_harness.Workload.default with ops_per_client = ops; write_ratio } in
+    let o = Sbft_harness.Workload.run ~spec reg in
+    Printf.printf "issued %d writes, %d reads over %d virtual ticks%s\n" o.issued_writes
+      o.issued_reads o.wall_ticks
+      (if o.livelocked then " (LIVELOCKED)" else "");
+    Printf.printf "completed: %d writes, %d reads (%d aborted)\n" (reg.completed_writes ())
+      (reg.completed_reads ()) (reg.aborted_reads ());
+    let after = Option.value ~default:max_int (reg.first_write_completion ()) in
+    let c = reg.check_regular ~after () in
+    Printf.printf "regularity (after first write at t=%s): %d checked, %d violations\n"
+      (if after = max_int then "-" else string_of_int after)
+      c.checked c.violations;
+    List.iter (fun d -> Printf.printf "  VIOLATION: %s\n" d) c.detail;
+    let w, r = reg.op_latencies () in
+    let pp what s =
+      Printf.printf "%s latency: %s\n" what (Format.asprintf "%a" Sbft_harness.Stats.pp_summary s)
+    in
+    pp "write" (Sbft_harness.Stats.summarize w);
+    pp "read" (Sbft_harness.Stats.summarize r);
+    if c.violations > 0 then exit 2
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of servers.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
+  let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client endpoints.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.") in
+  let ops = Arg.(value & opt int 25 & info [ "ops" ] ~doc:"Operations per client.") in
+  let wr = Arg.(value & opt float 0.3 & info [ "write-ratio" ] ~doc:"Write probability.") in
+  let strat =
+    Arg.(value & opt (some string) None & info [ "byzantine" ] ~doc:"Byzantine strategy for f servers.")
+  in
+  let corrupt = Arg.(value & flag & info [ "corrupt" ] ~doc:"Corrupt all state and channels at t=0.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a workload and audit it against MWMR regularity")
+    Term.(const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let go id csv html =
+    let tables =
+      match String.lowercase_ascii id with
+      | "all" -> Sbft_harness.Experiments.all ()
+      | id -> (
+          match Sbft_harness.Experiments.by_id id with
+          | Some f -> [ f () ]
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: all, %s\n" id
+                (String.concat ", " Sbft_harness.Experiments.ids);
+              exit 1)
+    in
+    List.iter
+      (fun t ->
+        Sbft_harness.Table.print t;
+        if csv then print_string (Sbft_harness.Table.to_csv t))
+      tables;
+    match html with
+    | Some path ->
+        Sbft_harness.Report.write_file ~path
+          ~title:"Stabilizing BFT Storage - experiments"
+          ~preamble:
+            "Reproduction of Bonomi, Potop-Butucaru &amp; Tixeuil, \
+             <em>Stabilizing Byzantine-Fault Tolerant Storage</em> (IPPS 2015). See EXPERIMENTS.md \
+             for the paper-vs-measured discussion."
+          tables;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let id = Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e20) or all.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Also print CSV.") in
+  let html =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write an HTML report.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate an experiment table from DESIGN.md's index")
+    Term.(const go $ id $ csv $ html)
+
+(* ------------------------------------------------------------------ *)
+(* attack *)
+
+let attack_cmd =
+  let go n f seed =
+    Format.printf "TM_1R multiset argument:@.";
+    List.iter
+      (fun d -> Format.printf "  %a@." Sbft_byz.Theorem1.pp_decision (Sbft_byz.Theorem1.run_decision d))
+      Sbft_byz.Theorem1.decisions;
+    Format.printf "@.Concrete schedule against the real protocol:@.";
+    Format.printf "  %a@." Sbft_byz.Theorem1.pp_protocol (Sbft_byz.Theorem1.run_protocol ~n ~f ~seed)
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Servers (5f shows the violation).") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
+  let seed = Arg.(value & opt int64 5L & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Replay the Theorem 1 lower-bound schedule")
+    Term.(const go $ n $ f $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* labels *)
+
+let labels_cmd =
+  let go k trials =
+    let sys = Sbft_labels.Sbls.system ~k in
+    Format.printf "k = %d, universe = %d stings, label size = %d bits@." k
+      (k * k + 1)
+      (Sbft_labels.Sbls.size_bits sys);
+    let rng = Sbft_sim.Rng.create 1L in
+    let l0 = Sbft_labels.Sbls.initial sys in
+    let l1 = Sbft_labels.Sbls.next sys [ l0 ] in
+    Format.printf "initial:     %a@." Sbft_labels.Sbls.pp l0;
+    Format.printf "next [l0]:   %a   (l0 < l1: %b)@." Sbft_labels.Sbls.pp l1
+      (Sbft_labels.Sbls.prec l0 l1);
+    let failures = ref 0 in
+    for _ = 1 to trials do
+      let inputs = List.init (1 + Sbft_sim.Rng.int rng k) (fun _ -> Sbft_labels.Sbls.random sys rng) in
+      let nxt = Sbft_labels.Sbls.next sys inputs in
+      if not (List.for_all (fun l -> Sbft_labels.Sbls.prec l nxt) inputs) then incr failures
+    done;
+    Format.printf "domination over %d random corrupted input sets: %d failures@." trials !failures
+  in
+  let k = Arg.(value & opt int 6 & info [ "k" ] ~doc:"Labeling parameter.") in
+  let trials = Arg.(value & opt int 100_000 & info [ "trials" ] ~doc:"Random trials.") in
+  Cmd.v
+    (Cmd.info "labels" ~doc:"Inspect the k-stabilizing bounded labeling system")
+    Term.(const go $ k $ trials)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let go seed =
+    let cfg = Sbft_core.Config.make ~n:6 ~f:1 ~clients:2 () in
+    let sys = Sbft_core.System.create ~seed ~trace:true cfg in
+    let flow =
+      Sbft_harness.Flow.attach (Sbft_core.System.network sys)
+        ~describe:(fun m -> Format.asprintf "%a" Sbft_core.Msg.pp m)
+    in
+    let read_start = ref 0 in
+    Sbft_core.System.write sys ~client:6 ~value:7
+      ~k:(fun () ->
+        read_start := Sbft_sim.Engine.now (Sbft_core.System.engine sys);
+        Sbft_core.System.read sys ~client:7
+          ~k:(fun o -> Printf.printf "read -> %s\n\n" (outcome_str o))
+          ())
+      ();
+    Sbft_core.System.quiesce sys;
+    (* The paper's Figure 4: projections of the operations' events at
+       their clients. *)
+    let name i = if i < 6 then Printf.sprintf "s%d" i else Printf.sprintf "c%d" i in
+    print_string
+      (Sbft_harness.Flow.projection ~until:(!read_start - 1) ~endpoint:6 ~name flow);
+    print_newline ();
+    print_string (Sbft_harness.Flow.projection ~from_time:!read_start ~endpoint:7 ~name flow);
+    let m = Sbft_sim.Engine.metrics (Sbft_core.System.engine sys) in
+    Printf.printf "\nmessage counters:\n";
+    List.iter (fun (k, v) -> Printf.printf "  %-24s %d\n" k v) (Sbft_sim.Metrics.counters m)
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one write/read cycle and print each operation's Figure-4 projection (the client's \
+          lifeline of sends and deliveries) plus message counters")
+    Term.(const go $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* explore *)
+
+let explore_cmd =
+  let go n f seeds ops =
+    let s = Sbft_harness.Explorer.explore ~n ~f ~seeds ~ops_per_client:ops () in
+    Format.printf "%a@." Sbft_harness.Explorer.pp_summary s;
+    if s.failures <> [] then exit 2
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
+  let seeds = Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Seeds per grid point.") in
+  let ops = Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Operations per client per run.") in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep schedules (seeds x delay policies x adversaries x corruption) hunting for \
+          counterexamples; exits non-zero if any run violates the spec")
+    Term.(const go $ n $ f $ seeds $ ops)
+
+(* ------------------------------------------------------------------ *)
+(* storm *)
+
+let storm_cmd =
+  let go n f seed waves every verbose =
+    let cfg = Sbft_core.Config.make ~n ~f ~clients:3 () in
+    let sys = Sbft_core.System.create ~seed cfg in
+    let mon = Sbft_core.Invariants.create sys in
+    let plan = Sbft_byz.Fault_plan.storm ~seed ~n ~f ~clients:3 ~waves ~every in
+    if verbose then Format.printf "fault timeline:@.%a@." Sbft_byz.Fault_plan.pp plan;
+    Sbft_byz.Fault_plan.apply ~monitor:mon sys plan;
+    let rng = Sbft_sim.Rng.create (Int64.add seed 1L) in
+    let v = ref 0 in
+    let rec loop c remaining =
+      if remaining > 0 then begin
+        let continue () =
+          Sbft_sim.Engine.schedule
+            (Sbft_core.System.engine sys)
+            ~delay:(Sbft_sim.Rng.int_in rng 5 25)
+            (fun () -> loop c (remaining - 1))
+        in
+        if Sbft_sim.Rng.chance rng 0.4 then begin
+          incr v;
+          Sbft_core.Invariants.write mon ~client:c ~value:!v ~k:continue ()
+        end
+        else Sbft_core.Invariants.read mon ~client:c ~k:(fun _ -> continue ()) ()
+      end
+    in
+    for c = n to n + 2 do
+      loop c 40
+    done;
+    Sbft_core.System.quiesce sys;
+    let r = Sbft_core.Invariants.check mon in
+    Format.printf "%a@." Sbft_core.Invariants.pp_report r;
+    Format.printf "verdict: %s@." (if Sbft_core.Invariants.ok r then "OK" else "BROKEN");
+    if not (Sbft_core.Invariants.ok r) then exit 2
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
+  let seed = Arg.(value & opt int64 8L & info [ "seed" ] ~doc:"PRNG seed.") in
+  let waves = Arg.(value & opt int 6 & info [ "waves" ] ~doc:"Fault waves.") in
+  let every = Arg.(value & opt int 250 & info [ "every" ] ~doc:"Ticks between waves.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the fault timeline.") in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Run a monitored workload through a random fault storm (corruption + Byzantine \
+          takeovers with healing) and report the live invariant checks")
+    Term.(const go $ n $ f $ seed $ waves $ every $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* kv *)
+
+let kv_cmd =
+  let go shards n f seed keys ops doom =
+    let kv = Sbft_kv.Store.create ~seed ~shards ~n ~f ~clients:3 () in
+    let engine = Sbft_kv.Store.engine kv in
+    let key_arr = Array.init keys (fun i -> Printf.sprintf "key-%d" i) in
+    Array.iteri (fun i key -> Sbft_kv.Store.put kv ~client:(i mod 3) ~key ~value:(1000 + i) ()) key_arr;
+    Sbft_kv.Store.quiesce kv;
+    let doom_time = 300 in
+    if doom then begin
+      let doomed = Sbft_kv.Store.shard_of_key kv key_arr.(0) in
+      Printf.printf "shard %d will suffer Byzantine takeover + corruption at t=%d\n" doomed doom_time;
+      Sbft_sim.Engine.schedule engine ~delay:doom_time (fun () ->
+          Sbft_kv.Store.apply_to_shard kv ~shard:doomed (fun sys ->
+              ignore (Sbft_byz.Strategy.install_all sys Sbft_byz.Strategies.equivocate);
+              Sbft_core.System.corrupt_everything sys ~severity:`Heavy))
+    end;
+    let rng = Sbft_sim.Rng.create (Int64.add seed 3L) in
+    let v = ref 2000 and gets = ref 0 and aborts = ref 0 in
+    let rec session c remaining =
+      if remaining > 0 then begin
+        let key = Sbft_sim.Rng.pick rng key_arr in
+        let continue () =
+          Sbft_sim.Engine.schedule engine ~delay:(Sbft_sim.Rng.int_in rng 5 25) (fun () ->
+              session c (remaining - 1))
+        in
+        if Sbft_sim.Rng.chance rng 0.3 then begin
+          incr v;
+          Sbft_kv.Store.put kv ~client:c ~key ~value:!v ~k:continue ()
+        end
+        else
+          Sbft_kv.Store.get kv ~client:c ~key
+            ~k:(fun o ->
+              incr gets;
+              (match o with Sbft_spec.History.Abort -> incr aborts | _ -> ());
+              continue ())
+            ()
+      end
+    in
+    for c = 0 to 2 do
+      session c ops
+    done;
+    Sbft_kv.Store.quiesce kv;
+    let checked, violations = Sbft_kv.Store.check_regular ~after:(if doom then doom_time else 0) kv in
+    Printf.printf "%d gets (%d aborted); audit: %d reads checked, %d violations\n" !gets !aborts
+      checked violations;
+    Format.printf "%a@." Sbft_kv.Store.pp_stats kv;
+    if violations > 0 then exit 2
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.") in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers per shard.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound per shard.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.") in
+  let keys = Arg.(value & opt int 8 & info [ "keys" ] ~doc:"Distinct keys.") in
+  let ops = Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Operations per client.") in
+  let doom = Arg.(value & flag & info [ "doom" ] ~doc:"Destroy one shard mid-run.") in
+  Cmd.v
+    (Cmd.info "kv" ~doc:"Run a session against the sharded key-value store and audit it")
+    Term.(const go $ shards $ n $ f $ seed $ keys $ ops $ doom)
+
+let () =
+  let doc = "stabilizing Byzantine-fault-tolerant MWMR regular register (IPPS 2015 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sbftreg" ~doc)
+          [ run_cmd; experiment_cmd; attack_cmd; labels_cmd; trace_cmd; explore_cmd; storm_cmd; kv_cmd ]))

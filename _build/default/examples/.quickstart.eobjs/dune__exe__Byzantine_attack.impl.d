@@ -1,0 +1,1 @@
+examples/byzantine_attack.ml: Format List Option Printf Sbft_byz Sbft_core Sbft_harness String

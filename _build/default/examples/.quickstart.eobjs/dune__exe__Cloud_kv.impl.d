@@ -1,0 +1,1 @@
+examples/cloud_kv.ml: Config List Printf Sbft_byz Sbft_core Sbft_labels Sbft_sim Sbft_spec System

@@ -1,0 +1,1 @@
+examples/fault_storm.ml: Config Format Invariants Printf Sbft_byz Sbft_core Sbft_sim System

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Format List Printf Sbft_byz Sbft_core Sbft_kv Sbft_sim Sbft_spec Store

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Format Printf Sbft_core Sbft_labels Sbft_spec System

@@ -1,0 +1,1 @@
+examples/transient_recovery.ml: Config List Printf Sbft_baselines Sbft_core Sbft_labels Sbft_spec System

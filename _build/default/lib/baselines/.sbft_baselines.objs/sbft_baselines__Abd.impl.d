@@ -1,0 +1,1 @@
+lib/baselines/abd.ml: Array Hashtbl List Sbft_channel Sbft_labels Sbft_sim Sbft_spec

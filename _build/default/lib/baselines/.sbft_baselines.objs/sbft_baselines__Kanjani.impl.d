@@ -1,0 +1,1 @@
+lib/baselines/kanjani.ml: Array Hashtbl List Option Sbft_channel Sbft_labels Sbft_sim Sbft_spec

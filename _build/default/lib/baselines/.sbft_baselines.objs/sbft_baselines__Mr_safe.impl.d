@@ -1,0 +1,1 @@
+lib/baselines/mr_safe.ml: Array Hashtbl List Option Sbft_channel Sbft_labels Sbft_sim Sbft_spec

@@ -1,0 +1,202 @@
+module Engine = Sbft_sim.Engine
+module Rng = Sbft_sim.Rng
+module Network = Sbft_channel.Network
+module Delay = Sbft_channel.Delay
+module Ts = Sbft_labels.Unbounded
+module History = Sbft_spec.History
+
+type msg =
+  | Read_q
+  | Read_r of { value : int; ts : Ts.t }
+  | Ts_q
+  | Ts_r of { ts : Ts.t }
+  | Write_q of { value : int; ts : Ts.t }
+  | Write_a of { ts : Ts.t }
+
+type server = { sid : int; mutable value : int; mutable ts : Ts.t }
+
+type op =
+  | Idle
+  | Ts_collect of { value : int; k : Ts.t -> unit; got : (int, Ts.t) Hashtbl.t }
+  | Write_wait of { k : Ts.t -> unit; ts : Ts.t; acks : (int, unit) Hashtbl.t }
+  | Read_collect of { k : History.read_outcome -> unit; got : (int, int * Ts.t) Hashtbl.t }
+  | Write_back of {
+      k : History.read_outcome -> unit;
+      value : int;
+      ts : Ts.t;
+      acks : (int, unit) Hashtbl.t;
+    }
+
+type client = { cid : int; mutable op : op }
+
+type t = {
+  n : int;
+  f : int;
+  net : msg Network.t;
+  engine : Engine.t;
+  servers : server array;
+  clients : client array;
+  history : Ts.t History.t;
+  fault_rng : Rng.t;
+}
+
+let majority t = (t.n / 2) + 1
+
+let server_ids t = List.init t.n (fun i -> i)
+
+let handle_server t s ~src msg =
+  match msg with
+  | Read_q -> Network.send t.net ~src:s.sid ~dst:src (Read_r { value = s.value; ts = s.ts })
+  | Ts_q -> Network.send t.net ~src:s.sid ~dst:src (Ts_r { ts = s.ts })
+  | Write_q { value; ts } ->
+      if Ts.prec s.ts ts then begin
+        s.value <- value;
+        s.ts <- ts
+      end;
+      Network.send t.net ~src:s.sid ~dst:src (Write_a { ts })
+  | Read_r _ | Ts_r _ | Write_a _ -> ()
+
+let broadcast t ~src msg = List.iter (fun dst -> Network.send t.net ~src ~dst msg) (server_ids t)
+
+let handle_client t c ~src msg =
+  match msg, c.op with
+  | Ts_r { ts }, Ts_collect { value; k; got } when src < t.n ->
+      Hashtbl.replace got src ts;
+      if Hashtbl.length got >= majority t then begin
+        let wts = Ts.next ~writer:c.cid (Hashtbl.fold (fun _ ts acc -> ts :: acc) got []) in
+        c.op <- Write_wait { k; ts = wts; acks = Hashtbl.create 8 };
+        broadcast t ~src:c.cid (Write_q { value; ts = wts })
+      end
+  | Write_a { ts }, Write_wait { k; ts = wts; acks } when src < t.n && Ts.equal ts wts ->
+      Hashtbl.replace acks src ();
+      if Hashtbl.length acks >= majority t then begin
+        c.op <- Idle;
+        k wts
+      end
+  | Read_r { value; ts }, Read_collect { k; got } when src < t.n ->
+      Hashtbl.replace got src (value, ts);
+      if Hashtbl.length got >= majority t then begin
+        (* Highest-timestamp pair wins; write it back before returning
+           (the atomicity phase). *)
+        let value, ts =
+          Hashtbl.fold
+            (fun _ (v, ts) (bv, bts) -> if Ts.prec bts ts then (v, ts) else (bv, bts))
+            got (0, Ts.initial)
+        in
+        c.op <- Write_back { k; value; ts; acks = Hashtbl.create 8 };
+        broadcast t ~src:c.cid (Write_q { value; ts })
+      end
+  | Write_a { ts }, Write_back { k; value; ts = rts; acks } when src < t.n && Ts.equal ts rts ->
+      Hashtbl.replace acks src ();
+      if Hashtbl.length acks >= majority t then begin
+        c.op <- Idle;
+        k (History.Value value)
+      end
+  | _ -> ()
+
+let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ~n ~f ~clients () =
+  if n < (2 * f) + 1 then invalid_arg "Abd.create: n must be >= 2f + 1";
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine ~endpoints:(n + clients) ~delay () in
+  let t =
+    {
+      n;
+      f;
+      net;
+      engine;
+      servers = Array.init n (fun sid -> { sid; value = 0; ts = Ts.initial });
+      clients = Array.init clients (fun i -> { cid = n + i; op = Idle });
+      history = History.create ();
+      fault_rng = Rng.split (Engine.rng engine);
+    }
+  in
+  Array.iter (fun s -> Network.register net s.sid (fun ~src msg -> handle_server t s ~src msg)) t.servers;
+  Array.iter (fun c -> Network.register net c.cid (fun ~src msg -> handle_client t c ~src msg)) t.clients;
+  t
+
+let client t cid =
+  if cid < t.n || cid >= t.n + Array.length t.clients then invalid_arg "Abd: not a client id";
+  t.clients.(cid - t.n)
+
+let write t ~client:cid ~value ?(k = fun () -> ()) () =
+  let c = client t cid in
+  if c.op <> Idle then invalid_arg "Abd.write: client busy";
+  let op = History.begin_write t.history ~client:cid ~value ~time:(Engine.now t.engine) in
+  c.op <-
+    Ts_collect
+      {
+        value;
+        k =
+          (fun wts ->
+            History.end_write t.history ~id:op ~time:(Engine.now t.engine) ~ts:(Some wts);
+            k ());
+        got = Hashtbl.create 8;
+      };
+  broadcast t ~src:cid Ts_q
+
+let read t ~client:cid ?(k = fun _ -> ()) () =
+  let c = client t cid in
+  if c.op <> Idle then invalid_arg "Abd.read: client busy";
+  let op = History.begin_read t.history ~client:cid ~time:(Engine.now t.engine) in
+  c.op <-
+    Read_collect
+      {
+        k =
+          (fun outcome ->
+            History.end_read t.history ~id:op ~time:(Engine.now t.engine) ~outcome;
+            k outcome);
+        got = Hashtbl.create 8;
+      };
+  broadcast t ~src:cid Read_q
+
+let quiesce ?(max_events = 5_000_000) t = Engine.run ~max_events t.engine
+
+let history t = t.history
+
+let engine t = t.engine
+
+let crash_server t id = Network.crash t.net id
+
+let make_byzantine t id =
+  let rng = Rng.split t.fault_rng in
+  Network.register t.net id (fun ~src msg ->
+      match msg with
+      | Read_q ->
+          (* Arbitrary value with a winning timestamp: ABD believes it. *)
+          Network.send t.net ~src:id ~dst:src
+            (Read_r { value = -999; ts = { Ts.ts = 1_000_000 + Rng.int rng 1000; writer = id } })
+      | Ts_q -> Network.send t.net ~src:id ~dst:src (Ts_r { ts = Ts.initial })
+      | Write_q { ts; _ } -> Network.send t.net ~src:id ~dst:src (Write_a { ts })
+      | _ -> ())
+
+let corrupt_server t id =
+  let s = t.servers.(id) in
+  s.value <- Rng.int_in t.fault_rng (-1_000_000) 1_000_000;
+  s.ts <- Ts.random t.fault_rng
+
+let poison t ~ids =
+  (* Correlated transient corruption: the same planted pair lands on
+     several servers at once (think zeroed pages or a replicated bad
+     snapshot).  The planted timestamp is the maximum representable
+     integer: the "unbounded" scheme lives in a bounded machine word,
+     so the writers' max+1 overflows and can never dominate it again —
+     precisely the failure bounded labels are designed out of. *)
+  let pair_ts = { Ts.ts = max_int; writer = 0 } in
+  List.iter
+    (fun id ->
+      let s = t.servers.(id) in
+      s.value <- -31337;
+      s.ts <- pair_ts)
+    ids
+
+let corrupt_channels t ~density =
+  let eps = t.n + Array.length t.clients in
+  for src = 0 to eps - 1 do
+    for dst = 0 to eps - 1 do
+      if src <> dst && Rng.chance t.fault_rng density then
+        Network.inject t.net ~src ~dst
+          (Read_r { value = Rng.int_in t.fault_rng (-1000) 1000; ts = Ts.random t.fault_rng })
+    done
+  done
+
+let max_ts t = Array.fold_left (fun acc s -> max acc s.ts.Ts.ts) 0 t.servers

@@ -1,0 +1,56 @@
+(** ABD-style atomic register — the crash-tolerant comparison point.
+
+    The classic Attiya–Bar-Noy–Dolev emulation: majority quorums
+    ([n ≥ 2f + 1] for [f] {e crash} faults), unbounded integer
+    timestamps, and a read that writes back its result before
+    returning, which is what buys atomicity.
+
+    In experiment E8's resilience matrix this baseline shows what each
+    assumption is worth: it is linearizable under crashes, but a single
+    Byzantine server can serve it arbitrary values (no witness
+    threshold) and a single transient fault can plant an unbeatable
+    timestamp (unbounded labels, no stabilization). *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?delay:Sbft_channel.Delay.t ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  unit ->
+  t
+(** Requires [n >= 2f + 1]. Endpoints: servers [0..n-1], clients
+    [n..n+clients-1]. *)
+
+val write : t -> client:int -> value:int -> ?k:(unit -> unit) -> unit -> unit
+
+val read : t -> client:int -> ?k:(Sbft_spec.History.read_outcome -> unit) -> unit -> unit
+
+val quiesce : ?max_events:int -> t -> unit
+
+val history : t -> Sbft_labels.Unbounded.t Sbft_spec.History.t
+
+val engine : t -> Sbft_sim.Engine.t
+
+val crash_server : t -> int -> unit
+(** The fault this protocol is designed for. *)
+
+val make_byzantine : t -> int -> unit
+(** Equivocating takeover — the fault it is {e not} designed for. *)
+
+val corrupt_server : t -> int -> unit
+(** Transient fault: randomize value and (unbounded) timestamp. *)
+
+val poison : t -> ids:int list -> unit
+(** Correlated transient fault: plant one identical poisoned
+    ⟨value, timestamp⟩ pair (near-maximal timestamp) on every listed
+    server — the failure mode unbounded timestamps cannot recover
+    from. *)
+
+val corrupt_channels : t -> density:float -> unit
+
+val max_ts : t -> int
+(** Largest timestamp integer any server currently stores — the
+    unbounded-growth measurement for E6. *)

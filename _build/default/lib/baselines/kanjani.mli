@@ -1,0 +1,54 @@
+(** Kanjani–Lee–Maguffee–Welch-style MWMR regular register (§V:
+    "a multi-writer multi-reader regular register using 3f + 1 servers
+    and unbounded timestamps").
+
+    The direct non-stabilizing counterpart of this repository's core
+    protocol: optimal resilience [n ≥ 3f + 1], two-phase writes
+    (collect timestamps, then [max + 1] tagged with the writer id),
+    one-phase reads returning the highest pair with at least [f + 1]
+    witnesses.
+
+    What the comparison in E8 shows: within its fault model (≤ f
+    Byzantine servers, clean start) it matches ours at lower
+    replication cost; a single transient fault breaks it permanently —
+    a poisoned integer timestamp on one {e correct} server out-votes
+    every honest write forever, and there is no [next] that can jump
+    over it in bounded space. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?delay:Sbft_channel.Delay.t ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  unit ->
+  t
+(** Requires [n >= 3f + 1]. *)
+
+val write : t -> client:int -> value:int -> ?k:(unit -> unit) -> unit -> unit
+
+val read : t -> client:int -> ?k:(Sbft_spec.History.read_outcome -> unit) -> unit -> unit
+(** Returns [Abort] when no pair reaches [f + 1] witnesses after all
+    [n] replies (cannot happen in the intended fault model). *)
+
+val quiesce : ?max_events:int -> t -> unit
+
+val history : t -> Sbft_labels.Unbounded.t Sbft_spec.History.t
+
+val engine : t -> Sbft_sim.Engine.t
+
+val make_byzantine : t -> int -> unit
+
+val corrupt_server : t -> int -> unit
+
+val poison : t -> ids:int list -> unit
+(** Correlated transient fault: plant one identical poisoned
+    ⟨value, timestamp⟩ pair (near-maximal timestamp) on every listed
+    server — the failure mode unbounded timestamps cannot recover
+    from. *)
+
+val corrupt_channels : t -> density:float -> unit
+
+val max_ts : t -> int

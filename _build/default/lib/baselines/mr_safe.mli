@@ -1,0 +1,58 @@
+(** Malkhi–Reiter-style wait-free safe register (§V of the paper:
+    "a simple wait-freedom implementation of a safe register using 5f
+    servers").
+
+    Byzantine-tolerant but only {e safe}: a read not concurrent with
+    any write returns the last written value; concurrent reads may
+    return anything.  Single writer, unbounded integer timestamps, no
+    stabilization: the register every later construction improves on.
+
+    Mechanics: the writer stamps each write with its private counter
+    and waits for [n - f] acks; a reader queries all servers, waits for
+    [n - f] replies and returns the highest-timestamped pair vouched by
+    at least [f + 1] servers (so at least one correct witness). *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?delay:Sbft_channel.Delay.t ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  unit ->
+  t
+(** Requires [n >= 4f + 1] (masking-quorum intersection); the paper
+    quotes the original deployment at [5f]. Client endpoint [n] is the
+    designated writer. *)
+
+val write : t -> value:int -> ?k:(unit -> unit) -> unit -> unit
+(** Single writer: always issued by client endpoint [n]. *)
+
+val read : t -> client:int -> ?k:(Sbft_spec.History.read_outcome -> unit) -> unit -> unit
+(** Reads return [Abort] when no pair reaches [f + 1] witnesses —
+    possible only under faults beyond the model (measured in E8). *)
+
+val quiesce : ?max_events:int -> t -> unit
+
+val history : t -> Sbft_labels.Unbounded.t Sbft_spec.History.t
+
+val engine : t -> Sbft_sim.Engine.t
+
+val make_byzantine : t -> int -> unit
+(** Equivocating takeover of one server — within this protocol's fault
+    model, up to [f] of them. *)
+
+val corrupt_server : t -> int -> unit
+(** Transient fault — {e outside} this protocol's fault model; plants a
+    poisoned high timestamp. *)
+
+val poison : t -> ids:int list -> unit
+(** Correlated transient fault: plant one identical poisoned
+    ⟨value, timestamp⟩ pair (near-maximal timestamp) on every listed
+    server — the failure mode unbounded timestamps cannot recover
+    from. *)
+
+val corrupt_channels : t -> density:float -> unit
+
+val max_ts : t -> int

@@ -1,0 +1,1 @@
+lib/byzantine/byz_client.ml: List Sbft_channel Sbft_core Sbft_sim

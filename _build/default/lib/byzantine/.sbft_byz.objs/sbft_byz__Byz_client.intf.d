@@ -1,0 +1,1 @@
+lib/byzantine/byz_client.mli: Sbft_core

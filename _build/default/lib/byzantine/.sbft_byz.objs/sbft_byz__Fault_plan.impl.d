@@ -1,0 +1,1 @@
+lib/byzantine/fault_plan.ml: Format Fun List Sbft_channel Sbft_core Sbft_sim Strategies Strategy String

@@ -1,0 +1,1 @@
+lib/byzantine/fault_plan.mli: Format Sbft_core Strategy

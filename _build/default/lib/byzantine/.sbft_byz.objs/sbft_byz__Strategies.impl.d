@@ -1,0 +1,1 @@
+lib/byzantine/strategies.ml: Printf Sbft_core Sbft_labels Sbft_sim Strategy

@@ -1,0 +1,1 @@
+lib/byzantine/strategies.mli: Strategy

@@ -1,0 +1,1 @@
+lib/byzantine/strategy.ml: List Sbft_channel Sbft_core Sbft_labels Sbft_sim

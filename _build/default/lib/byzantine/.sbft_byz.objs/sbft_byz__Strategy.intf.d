@@ -1,0 +1,1 @@
+lib/byzantine/strategy.mli: Sbft_channel Sbft_core Sbft_labels Sbft_sim

@@ -1,0 +1,1 @@
+lib/byzantine/theorem1.ml: Format Int List Printf Sbft_channel Sbft_core Sbft_sim Sbft_spec Strategies Strategy

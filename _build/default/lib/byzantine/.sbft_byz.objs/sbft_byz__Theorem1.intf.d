@@ -1,0 +1,1 @@
+lib/byzantine/theorem1.mli: Format

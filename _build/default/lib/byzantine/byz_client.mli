@@ -1,0 +1,27 @@
+(** Byzantine {e client} behaviours — the §VI remark made executable.
+
+    The paper closes by noting that "when reader clients are Byzantine
+    our protocol still verifies the MWMR regular register
+    specification": reads are one-phase, so a malicious reader can
+    neither alter the value/timestamp state of correct servers nor
+    impersonate progress for others.  (A Byzantine {e writer} is a
+    different story — it can write garbage values, which the register
+    faithfully stores; register semantics do not defend against that.)
+
+    A compromised client here floods servers with protocol-shaped junk:
+    READs under random labels it never completes, spurious
+    COMPLETE_READs and FLUSHes, stray client-bound messages.  The tests
+    and experiment E13 verify server state is untouched and other
+    clients' reads stay regular. *)
+
+val flood : Sbft_core.System.t -> client:int -> period:int -> until:int -> unit
+(** Turn endpoint [client] into a flooding Byzantine reader: every
+    [period] ticks (until virtual time [until]) it sprays a random
+    protocol message to every server.  The endpoint's correct automaton
+    is disconnected. *)
+
+val ghost_reader : Sbft_core.System.t -> client:int -> unit
+(** A quieter attack: register as a running reader with every server
+    (READ under a random label) and never send COMPLETE_READ — tries to
+    bloat server [running_read] state and generate eternal forwarding
+    traffic. *)

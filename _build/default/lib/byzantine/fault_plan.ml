@@ -1,0 +1,102 @@
+module System = Sbft_core.System
+module Server = Sbft_core.Server
+module Engine = Sbft_sim.Engine
+module Network = Sbft_channel.Network
+module Rng = Sbft_sim.Rng
+
+type event =
+  | Corrupt_server of int * [ `Light | `Heavy ]
+  | Corrupt_client of int
+  | Corrupt_channels of float
+  | Corrupt_everything of [ `Light | `Heavy ]
+  | Byzantine of int * Strategy.t
+  | Heal of int
+  | Crash of int
+  | Slow_node of int * int
+  | Slow_channel of int * int * int
+  | Partition of int list list
+  | Heal_partition
+
+type t = (int * event) list
+
+let is_corruption = function
+  | Corrupt_server _ | Corrupt_client _ | Corrupt_channels _ | Corrupt_everything _ | Heal _ ->
+      (* Healing re-exposes stale state: for the stabilization clock it
+         acts exactly like a transient fault on that server. *)
+      true
+  | Byzantine _ | Crash _ | Slow_node _ | Slow_channel _ | Partition _ | Heal_partition -> false
+
+let run_event sys = function
+  | Corrupt_server (id, sev) -> System.corrupt_server sys id ~severity:sev
+  | Corrupt_client id -> System.corrupt_client sys id
+  | Corrupt_channels density -> System.corrupt_channels sys ~density
+  | Corrupt_everything sev -> System.corrupt_everything sys ~severity:sev
+  | Byzantine (id, strategy) -> Strategy.install sys ~server:id strategy
+  | Heal id ->
+      let server = System.server sys id in
+      System.replace_server_handler sys id (fun ~src msg -> Server.handle server ~src msg)
+  | Crash id -> Network.crash (System.network sys) id
+  | Slow_node (id, factor) -> Network.set_slow_node (System.network sys) id ~factor
+  | Slow_channel (src, dst, factor) -> Network.set_slow (System.network sys) ~src ~dst ~factor
+  | Partition groups -> Network.partition (System.network sys) ~groups
+  | Heal_partition -> Network.heal (System.network sys)
+
+let apply ?monitor sys plan =
+  let engine = System.engine sys in
+  let now = Engine.now engine in
+  List.iter
+    (fun (at, event) ->
+      let fire () =
+        run_event sys event;
+        match monitor with
+        | Some m when is_corruption event -> Sbft_core.Invariants.notify_corruption m
+        | _ -> ()
+      in
+      if at <= now then fire () else Engine.schedule engine ~delay:(at - now) fire)
+    plan
+
+let storm ~seed ~n ~f ~clients:_ ~waves ~every =
+  let rng = Rng.create seed in
+  let plan = ref [] in
+  let currently_byz = ref [] in
+  for wave = 1 to waves do
+    let at = wave * every in
+    (* Heal last wave's Byzantine servers first. *)
+    List.iter (fun id -> plan := (at - 1, Heal id) :: !plan) !currently_byz;
+    currently_byz := [];
+    (* Pick victims for this wave. *)
+    let victims = Rng.sample rng (1 + Rng.int rng (max 1 f)) (List.init n Fun.id) in
+    List.iter
+      (fun id ->
+        if Rng.bool rng && List.length !currently_byz < f then begin
+          let _, strategy = Rng.pick_list rng Strategies.all in
+          plan := (at, Byzantine (id, strategy)) :: !plan;
+          currently_byz := id :: !currently_byz
+        end
+        else plan := (at, Corrupt_server (id, if Rng.bool rng then `Heavy else `Light)) :: !plan)
+      victims;
+    if Rng.chance rng 0.5 then plan := (at, Corrupt_channels 0.2) :: !plan
+  done;
+  (* Let the last wave heal too, so the storm ends with honest servers. *)
+  List.iter (fun id -> plan := (((waves + 1) * every) - 1, Heal id) :: !plan) !currently_byz;
+  List.rev !plan
+
+let pp_event fmt = function
+  | Corrupt_server (id, `Light) -> Format.fprintf fmt "corrupt-server %d (light)" id
+  | Corrupt_server (id, `Heavy) -> Format.fprintf fmt "corrupt-server %d (heavy)" id
+  | Corrupt_client id -> Format.fprintf fmt "corrupt-client %d" id
+  | Corrupt_channels d -> Format.fprintf fmt "corrupt-channels %.2f" d
+  | Corrupt_everything _ -> Format.fprintf fmt "corrupt-everything"
+  | Byzantine (id, s) -> Format.fprintf fmt "byzantine %d (%s)" id s.Strategy.name
+  | Heal id -> Format.fprintf fmt "heal %d" id
+  | Crash id -> Format.fprintf fmt "crash %d" id
+  | Slow_node (id, x) -> Format.fprintf fmt "slow-node %d x%d" id x
+  | Slow_channel (s, d, x) -> Format.fprintf fmt "slow-channel %d->%d x%d" s d x
+  | Partition groups ->
+      Format.fprintf fmt "partition %s"
+        (String.concat "|"
+           (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+  | Heal_partition -> Format.fprintf fmt "heal-partition"
+
+let pp fmt plan =
+  List.iter (fun (at, e) -> Format.fprintf fmt "[%d] %a@." at pp_event e) plan

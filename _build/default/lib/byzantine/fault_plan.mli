@@ -1,0 +1,46 @@
+(** Declarative fault timelines.
+
+    Experiments and tests describe {e when} faults strike as data and
+    let the interpreter schedule them, instead of hand-rolling engine
+    callbacks.  The vocabulary covers the paper's whole failure model —
+    transient corruption of state and channels, Byzantine takeover,
+    crash, asymmetric slowness — plus {!Heal}, which restores a
+    compromised server's {e correct automaton} (with whatever stale
+    state it last had).
+
+    Heal is the §VI unification made executable: a server that was
+    Byzantine for a bounded window and then heals is indistinguishable
+    from a correct server hit by a transient fault — its state is
+    arbitrary but its behaviour is honest again — so the register must
+    reabsorb it by the next completed write, without any server ever
+    restarting.  Experiment E19 runs exactly such fault storms. *)
+
+type event =
+  | Corrupt_server of int * [ `Light | `Heavy ]
+  | Corrupt_client of int
+  | Corrupt_channels of float  (** density of forged in-flight messages *)
+  | Corrupt_everything of [ `Light | `Heavy ]
+  | Byzantine of int * Strategy.t  (** take over one server *)
+  | Heal of int  (** reconnect the server's correct automaton, stale state and all *)
+  | Crash of int  (** permanent endpoint crash (clients, typically) *)
+  | Slow_node of int * int  (** node, factor *)
+  | Slow_channel of int * int * int  (** src, dst, factor *)
+  | Partition of int list list  (** split endpoints into groups (see {!Sbft_channel.Network.partition}) *)
+  | Heal_partition
+
+type t = (int * event) list
+(** [(virtual_time, event)] pairs; times need not be sorted. *)
+
+val apply : ?monitor:Sbft_core.Invariants.t -> Sbft_core.System.t -> t -> unit
+(** Schedule every event.  When [monitor] is given, corruption events
+    also call {!Sbft_core.Invariants.notify_corruption} so the
+    stabilization clock restarts correctly. *)
+
+val storm : seed:int64 -> n:int -> f:int -> clients:int -> waves:int -> every:int -> t
+(** A random fault storm: [waves] bursts, [every] ticks apart; each
+    wave corrupts a random subset of servers, flips a coin between
+    Byzantine takeover (healed one wave later) and transient
+    corruption, and sprinkles channel garbage.  Never exceeds [f]
+    simultaneously-Byzantine servers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+module System = Sbft_core.System
+module Server = Sbft_core.Server
+module Network = Sbft_channel.Network
+
+type ctx = {
+  cfg : Sbft_core.Config.t;
+  sys : Sbft_labels.Sbls.system;
+  net : Sbft_core.Msg.t Sbft_channel.Network.t;
+  engine : Sbft_sim.Engine.t;
+  id : int;
+  rng : Sbft_sim.Rng.t;
+  underlying : Sbft_core.Server.t;
+}
+
+type t = { name : string; react : ctx -> src:int -> Sbft_core.Msg.t -> unit }
+
+let install system ~server strategy =
+  let ctx =
+    {
+      cfg = System.config system;
+      sys = System.label_system system;
+      net = System.network system;
+      engine = System.engine system;
+      id = server;
+      rng = Sbft_sim.Rng.split (System.rng system);
+      underlying = System.server system server;
+    }
+  in
+  System.replace_server_handler system server (fun ~src msg -> strategy.react ctx ~src msg)
+
+let install_all system strategy =
+  let cfg = System.config system in
+  let ids = List.init cfg.f (fun i -> cfg.n - 1 - i) in
+  List.iter (fun server -> install system ~server strategy) ids;
+  ids
+
+let send ctx ~dst msg = Network.send ctx.net ~src:ctx.id ~dst msg
+
+let correct ctx ~src msg = Server.handle ctx.underlying ~src msg

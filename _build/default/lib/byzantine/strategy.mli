@@ -1,0 +1,39 @@
+(** Byzantine server strategies.
+
+    A strategy is an arbitrary message handler that replaces a correct
+    server's automaton on the network.  It receives the compromised
+    server's context — including the {e original} automaton, whose
+    state it may consult or keep updating — and full forging power: it
+    can send any constructor of {!Sbft_core.Msg.t} to anyone at any
+    time.
+
+    The strategy library in {!Strategies} covers the behaviours the
+    paper's proofs reason about (mute in one or both phases, NACK
+    floods, stale replays, equivocation); experiments E4/E9 sweep over
+    them. *)
+
+type ctx = {
+  cfg : Sbft_core.Config.t;
+  sys : Sbft_labels.Sbls.system;
+  net : Sbft_core.Msg.t Sbft_channel.Network.t;
+  engine : Sbft_sim.Engine.t;
+  id : int;  (** the compromised server's endpoint id *)
+  rng : Sbft_sim.Rng.t;  (** adversary-private randomness *)
+  underlying : Sbft_core.Server.t;  (** the displaced correct automaton *)
+}
+
+type t = { name : string; react : ctx -> src:int -> Sbft_core.Msg.t -> unit }
+
+val install : Sbft_core.System.t -> server:int -> t -> unit
+(** Compromise one server. *)
+
+val install_all : Sbft_core.System.t -> t -> int list
+(** Compromise servers [n-f .. n-1] (the last [f]) with the same
+    strategy; returns their ids.  Taking the tail keeps ids [0 .. n-f-1]
+    correct, which experiments rely on for state inspection. *)
+
+val send : ctx -> dst:int -> Sbft_core.Msg.t -> unit
+(** Forge a message from the compromised server. *)
+
+val correct : ctx -> src:int -> Sbft_core.Msg.t -> unit
+(** Delegate to the correct automaton. *)

@@ -1,0 +1,1 @@
+lib/channel/datalink.ml: Fun Hashtbl List Lossy Option Queue Sbft_sim

@@ -1,0 +1,1 @@
+lib/channel/datalink.mli: Sbft_sim

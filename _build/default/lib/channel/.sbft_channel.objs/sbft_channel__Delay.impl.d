@@ -1,0 +1,1 @@
+lib/channel/delay.ml: List Sbft_sim

@@ -1,0 +1,1 @@
+lib/channel/delay.mli: Sbft_sim

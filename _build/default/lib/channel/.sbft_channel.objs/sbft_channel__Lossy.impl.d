@@ -1,0 +1,1 @@
+lib/channel/lossy.ml: List Sbft_sim

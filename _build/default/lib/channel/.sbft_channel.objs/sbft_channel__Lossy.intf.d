@@ -1,0 +1,1 @@
+lib/channel/lossy.mli: Sbft_sim

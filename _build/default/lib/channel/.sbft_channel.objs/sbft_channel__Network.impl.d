@@ -1,0 +1,1 @@
+lib/channel/network.ml: Array Datalink Delay List Queue Sbft_sim

@@ -1,0 +1,1 @@
+lib/channel/network.mli: Delay Sbft_sim

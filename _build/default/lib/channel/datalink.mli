@@ -1,0 +1,53 @@
+(** Stabilization-preserving data-link protocol.
+
+    Builds a (pseudo-)reliable FIFO link on top of two {!Lossy}
+    channels (data and acknowledgment), following the approach of
+    Dolev, Dubois, Potop-Butucaru and Tixeuil, "Stabilizing data-link
+    over non-FIFO channels with optimal fault-resilience" (IPL 2011),
+    which the paper cites to justify its FIFO channel assumption.
+
+    Mechanism (simplified variant): packets carry labels cycling over
+    [{0 .. 2·capacity}].  The sender retransmits the current packet
+    until it has collected [capacity + 1] acknowledgments bearing its
+    label — since at most [capacity] stale acks can exist, at least one
+    is fresh.  The receiver delivers a payload only after receiving
+    [capacity + 1] {e identical} copies of it under a label different
+    from the last delivered one (stale channel content can never
+    muster that many), and acknowledges only from that point on — so a
+    fresh ack proves delivery.  From an arbitrary initial configuration
+    (including
+    channels preloaded with garbage) the link may deliver a finite
+    prefix of spurious or lost messages, after which every execution
+    suffix delivers exactly the sent sequence in FIFO order — the
+    pseudo-stabilization contract the register protocol needs. *)
+
+type 'a t
+
+type stats = {
+  delivered : int;  (** payloads handed to the application *)
+  transmissions : int;  (** data packets put on the wire, incl. retransmits *)
+  acks : int;  (** ack packets put on the wire *)
+}
+
+val create :
+  Sbft_sim.Engine.t ->
+  capacity:int ->
+  loss:float ->
+  max_delay:int ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a t
+(** One directed link. [capacity], [loss] and [max_delay] parameterize
+    both underlying lossy channels. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a payload for FIFO transmission. *)
+
+val backlog : 'a t -> int
+(** Payloads accepted by {!send} but not yet acknowledged. *)
+
+val corrupt : 'a t -> garbage:(Sbft_sim.Rng.t -> 'a) -> unit
+(** Transient fault: scramble sender/receiver label state and preload
+    both channels with garbage packets. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,23 @@
+(** Message-delay policies.
+
+    A policy draws the transit delay (in virtual ticks) of one message
+    on one directed channel.  Policies are pure functions of the PRNG,
+    so schedules are reproducible; "asynchrony" in the paper's sense is
+    modelled by the spread between the fastest and slowest draw. *)
+
+type t = Sbft_sim.Rng.t -> src:int -> dst:int -> int
+
+val fixed : int -> t
+(** Every message takes exactly [d] ticks — a synchronous network. *)
+
+val uniform : max:int -> t
+(** Uniform in [\[1, max\]] — the default asynchronous model. *)
+
+val bimodal : fast:int -> slow:int -> slow_prob:float -> t
+(** Mostly [\[1, fast\]], but with probability [slow_prob] the message
+    takes [\[fast+1, slow\]] ticks.  Approximates the "one slow server"
+    schedules used in the paper's proofs. *)
+
+val skew : fast_max:int -> slow_max:int -> slow_nodes:int list -> t
+(** Channels touching a node in [slow_nodes] draw from [\[1, slow_max\]];
+    all others from [\[1, fast_max\]]. *)

@@ -1,0 +1,164 @@
+module Engine = Sbft_sim.Engine
+module Rng = Sbft_sim.Rng
+module Metrics = Sbft_sim.Metrics
+
+type 'msg handler = src:int -> 'msg -> unit
+
+type transport = Direct | Over_datalink of { capacity : int; loss : float; max_delay : int }
+
+type 'msg t = {
+  engine : Engine.t;
+  n : int;
+  rng : Rng.t;
+  delay : Delay.t;
+  handlers : 'msg handler option array;
+  last_delivery : int array;
+  (* index [src * n + dst]: last scheduled delivery time on that channel;
+     later sends are never scheduled at or before it, which is what makes
+     every channel FIFO regardless of the delay policy. *)
+  slow : int array;
+  mutable tamper : (src:int -> dst:int -> 'msg -> 'msg option) option;
+  classify : ('msg -> string) option;
+  down : bool array;
+  mutable queued : int;
+  transport : transport;
+  links : 'msg Datalink.t option array; (* lazily built per directed channel *)
+  mutable groups : int array option; (* partition: group id per endpoint *)
+  parked_q : (int * int * 'msg) Queue.t; (* sends withheld by the partition, in order *)
+  mutable observer : (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option;
+}
+
+let create engine ~endpoints ~delay ?classify ?(transport = Direct) () =
+  {
+    engine;
+    n = endpoints;
+    rng = Rng.split (Engine.rng engine);
+    delay;
+    handlers = Array.make endpoints None;
+    last_delivery = Array.make (endpoints * endpoints) 0;
+    slow = Array.make (endpoints * endpoints) 1;
+    tamper = None;
+    classify;
+    down = Array.make endpoints false;
+    queued = 0;
+    transport;
+    links = Array.make (endpoints * endpoints) None;
+    groups = None;
+    parked_q = Queue.create ();
+    observer = None;
+  }
+
+let engine t = t.engine
+
+let endpoints t = t.n
+
+let chan t ~src ~dst = (src * t.n) + dst
+
+let register t id handler = t.handlers.(id) <- Some handler
+
+let crash t id = t.down.(id) <- true
+
+let crashed t id = t.down.(id)
+
+let set_slow t ~src ~dst ~factor = t.slow.(chan t ~src ~dst) <- max 1 factor
+
+let set_slow_node t id ~factor =
+  for other = 0 to t.n - 1 do
+    set_slow t ~src:id ~dst:other ~factor;
+    set_slow t ~src:other ~dst:id ~factor
+  done
+
+let set_tamper t hook = t.tamper <- hook
+
+let observe t hook = t.observer <- hook
+
+let notify t event ~src ~dst msg =
+  match t.observer with Some f -> f ~event ~src ~dst msg | None -> ()
+
+let deliver t ~src ~dst msg =
+  let m = Engine.metrics t.engine in
+  let tr = Engine.trace t.engine in
+  if Sbft_sim.Trace.enabled tr then
+    Sbft_sim.Trace.logf tr ~time:(Engine.now t.engine) "deliver %d->%d%s" src dst
+      (match t.classify with Some f -> " " ^ f msg | None -> "");
+  if t.down.(dst) then Metrics.incr m "net.dropped"
+  else
+    let msg = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
+    match msg, t.handlers.(dst) with
+    | Some payload, Some h ->
+        Metrics.incr m "net.delivered";
+        notify t `Deliver ~src ~dst payload;
+        h ~src payload
+    | _ -> Metrics.incr m "net.dropped"
+
+let enqueue t ~src ~dst ~delay_ticks msg =
+  let c = chan t ~src ~dst in
+  let now = Engine.now t.engine in
+  let at = max (now + max 1 delay_ticks) (t.last_delivery.(c) + 1) in
+  t.last_delivery.(c) <- at;
+  t.queued <- t.queued + 1;
+  Engine.schedule t.engine ~delay:(at - now) (fun () ->
+      t.queued <- t.queued - 1;
+      deliver t ~src ~dst msg)
+
+let link t ~src ~dst ~capacity ~loss ~max_delay =
+  let c = chan t ~src ~dst in
+  match t.links.(c) with
+  | Some l -> l
+  | None ->
+      let l =
+        Datalink.create t.engine ~capacity ~loss ~max_delay
+          ~deliver:(fun msg -> deliver t ~src ~dst msg)
+          ()
+      in
+      t.links.(c) <- Some l;
+      l
+
+let partitioned t ~src ~dst =
+  match t.groups with
+  | None -> false
+  | Some g -> g.(src) <> g.(dst) || g.(src) < 0 || g.(dst) < 0
+
+let transmit_now t ~src ~dst msg =
+  match t.transport with
+  | Direct ->
+      let d = t.delay t.rng ~src ~dst * t.slow.(chan t ~src ~dst) in
+      enqueue t ~src ~dst ~delay_ticks:d msg
+  | Over_datalink { capacity; loss; max_delay } ->
+      let max_delay = max_delay * t.slow.(chan t ~src ~dst) in
+      Datalink.send (link t ~src ~dst ~capacity ~loss ~max_delay) msg
+
+let send t ~src ~dst msg =
+  if not t.down.(src) then begin
+    let m = Engine.metrics t.engine in
+    Metrics.incr m "net.sent";
+    (match t.classify with Some f -> Metrics.incr m ("net.sent." ^ f msg) | None -> ());
+    notify t `Send ~src ~dst msg;
+    if partitioned t ~src ~dst then begin
+      Metrics.incr m "net.parked";
+      Queue.push (src, dst, msg) t.parked_q
+    end
+    else transmit_now t ~src ~dst msg
+  end
+
+let partition t ~groups =
+  let g = Array.make t.n (-1) in
+  List.iteri (fun gid members -> List.iter (fun e -> if e >= 0 && e < t.n then g.(e) <- gid) members) groups;
+  (* Unlisted endpoints stay at -1: isolated singletons. *)
+  t.groups <- Some g
+
+let heal t =
+  t.groups <- None;
+  (* Release parked traffic in order; enqueue keeps per-channel FIFO. *)
+  Queue.iter (fun (src, dst, msg) -> transmit_now t ~src ~dst msg) t.parked_q;
+  Queue.clear t.parked_q
+
+let parked t = Queue.length t.parked_q
+
+let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
+
+let inject t ~src ~dst msg =
+  Metrics.incr (Engine.metrics t.engine) "net.injected";
+  enqueue t ~src ~dst ~delay_ticks:1 msg
+
+let in_flight t = t.queued

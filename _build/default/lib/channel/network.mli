@@ -1,0 +1,110 @@
+(** Reliable FIFO point-to-point message network.
+
+    This is the channel model the register protocols run over: every
+    ordered pair of endpoints is connected by a reliable FIFO channel —
+    messages are not created, modified or lost, and are delivered in
+    send order — exactly the paper's §II assumption.  (The paper notes
+    this layer can itself be built over lossy non-FIFO channels with a
+    stabilization-preserving data-link; see {!Datalink} for that
+    construction.)
+
+    FIFO order is preserved structurally: each directed channel tracks
+    the delivery time of its last message and later sends are never
+    scheduled before it, whatever the delay policy draws.
+
+    The network also hosts the fault hooks the experiments need:
+    per-channel slowdown (the "slow server" schedules of the proofs),
+    endpoint crash, message tampering, and injection of forged
+    messages (initial channel corruption of the transient-fault
+    model). *)
+
+type 'msg t
+
+type 'msg handler = src:int -> 'msg -> unit
+
+type transport =
+  | Direct  (** reliable FIFO channels, delays drawn from the policy *)
+  | Over_datalink of { capacity : int; loss : float; max_delay : int }
+      (** every directed channel is a {!Datalink} running over a
+          bounded lossy non-FIFO channel — the paper's §II stack built
+          all the way down.  FIFO reliability is then a property the
+          data-link {e earns} rather than an axiom; expect an order of
+          magnitude more low-level packets. *)
+
+val create :
+  Sbft_sim.Engine.t ->
+  endpoints:int ->
+  delay:Delay.t ->
+  ?classify:('msg -> string) ->
+  ?transport:transport ->
+  unit ->
+  'msg t
+(** [create engine ~endpoints ~delay ()] builds a network of
+    [endpoints] endpoints (ids [0 .. endpoints-1]).  [classify] names
+    message constructors for per-type counters in the engine metrics.
+    [delay] applies to [Direct] transport; [Over_datalink] channels
+    pace themselves by their own [max_delay]. Default [Direct]. *)
+
+val engine : 'msg t -> Sbft_sim.Engine.t
+
+val endpoints : 'msg t -> int
+
+val register : 'msg t -> int -> 'msg handler -> unit
+(** Attach the receive handler of endpoint [id]. Replaces any previous
+    handler (used when a correct server is swapped for a Byzantine
+    one). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a message. Delivery is scheduled per the delay policy,
+    FIFO-constrained per channel. Sends from a crashed endpoint are
+    dropped. *)
+
+val broadcast : 'msg t -> src:int -> dst:int list -> 'msg -> unit
+
+val crash : 'msg t -> int -> unit
+(** Endpoint [id] stops sending and receiving, permanently. *)
+
+val crashed : 'msg t -> int -> bool
+
+val set_slow : 'msg t -> src:int -> dst:int -> factor:int -> unit
+(** Multiply the drawn delay on channel [src -> dst] by [factor].
+    [factor = 1] restores normal speed. *)
+
+val set_slow_node : 'msg t -> int -> factor:int -> unit
+(** Slow every channel into and out of a node. *)
+
+val set_tamper : 'msg t -> (src:int -> dst:int -> 'msg -> 'msg option) option -> unit
+(** Install a tampering hook, applied at delivery time: [None] drops
+    the message, [Some m'] replaces it.  Models in-flight corruption
+    during a transient fault.  Passing [None] uninstalls. *)
+
+val inject : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Place a forged message in channel [src -> dst], delivered ahead of
+    subsequent legitimate traffic — models arbitrary initial channel
+    contents. *)
+
+val partition : 'msg t -> groups:int list list -> unit
+(** Split the network: endpoints in different groups (unlisted
+    endpoints form isolated singletons) cannot exchange {e new}
+    messages; sends across the cut are parked, in order.  Messages
+    already in flight still arrive.  Reliable channels make a
+    partition an {e unbounded-delay window}, not a loss event — on
+    {!heal} every parked message is released in FIFO order, so the
+    paper's channel axioms hold across the episode and operations
+    stalled by the cut complete afterwards. *)
+
+val heal : 'msg t -> unit
+(** End the partition and release parked traffic. *)
+
+val partitioned : 'msg t -> src:int -> dst:int -> bool
+
+val parked : 'msg t -> int
+(** Messages currently withheld by the partition. *)
+
+val in_flight : 'msg t -> int
+(** Messages currently queued for delivery. *)
+
+val observe : 'msg t -> (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option -> unit
+(** Install a wiretap called on every send and every delivery (after
+    tamper).  Used by the sequence-diagram renderer and flow analyses;
+    [None] uninstalls.  The observer must not send messages. *)

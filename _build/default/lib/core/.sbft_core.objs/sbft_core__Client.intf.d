@@ -1,0 +1,1 @@
+lib/core/client.mli: Config Msg Sbft_channel Sbft_labels Sbft_sim Sbft_spec

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Client Format List Sbft_labels Sbft_sim Sbft_spec System

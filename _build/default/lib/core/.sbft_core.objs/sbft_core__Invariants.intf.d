@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Client Format System

@@ -1,0 +1,1 @@
+lib/core/msg.ml: Format List Sbft_labels Sbft_sim

@@ -1,0 +1,1 @@
+lib/core/server.ml: Config Hashtbl List Msg Sbft_channel Sbft_labels Sbft_sim

@@ -1,0 +1,1 @@
+lib/core/server.mli: Config Msg Sbft_channel Sbft_labels Sbft_sim

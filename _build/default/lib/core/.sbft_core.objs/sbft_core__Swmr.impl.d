@@ -1,0 +1,1 @@
+lib/core/swmr.ml: Config List System

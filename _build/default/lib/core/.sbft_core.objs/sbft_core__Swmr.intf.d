@@ -1,0 +1,1 @@
+lib/core/swmr.mli: Client Config Msg Sbft_channel Sbft_spec System

@@ -1,0 +1,1 @@
+lib/core/system.mli: Client Config Msg Sbft_channel Sbft_labels Sbft_sim Sbft_spec Server

@@ -1,0 +1,64 @@
+(** Client automaton: the writer of Figure 1a, the reader of Figure 2a
+    and the find_read_label procedure of Figure 3a.
+
+    One endpoint carries both roles (any client may read and write, per
+    the MWMR register).  Operations are event-driven: [write]/[read]
+    start a state machine and return immediately; the continuation
+    fires when the protocol's wait conditions are met.  A client runs
+    one operation at a time — concurrency in experiments comes from
+    {e many} clients, matching the paper's model where each process is
+    sequential.
+
+    Write (two phases): broadcast [GET_TS]; on [n - f] distinct
+    timestamps compute [next] over them (the bounded-label dominating
+    step); broadcast [WRITE(v, ts)]; complete on [n - f] responses of
+    which at least [2f + 1] ACK.
+
+    Read (one phase, label-fenced): pick a read label with fewer than
+    [f+1] pending servers (FLUSH/FLUSH_ACK echoes clear stale
+    pendings, exploiting FIFO — Lemma 5); send [READ(ℓ)] to servers
+    proven safe for [ℓ]; on [n - f] replies from safe servers decide
+    via the Weighted Timestamp Graph: a ⟨value, ts⟩ pair witnessed by
+    [2f + 1] servers in the replies, else in the union with the
+    servers' recent-write histories, else {b abort} (the legal answer
+    during a transitory phase). *)
+
+type read_outcome = Sbft_spec.History.read_outcome
+
+type t
+
+val create :
+  Config.t -> Sbft_labels.Sbls.system -> Msg.t Sbft_channel.Network.t -> id:int -> t
+(** Creates the automaton and registers its handler on the network.
+    [id] must be a client endpoint id ([>= n]). *)
+
+val id : t -> int
+
+val busy : t -> bool
+
+val write : t -> value:int -> (unit -> unit) -> unit
+(** [write t ~value k] starts a write; [k] fires at completion.
+    Raises [Invalid_argument] if the client is busy. *)
+
+val read : t -> (read_outcome -> unit) -> unit
+(** [read t k] starts a read; [k] fires with the returned value or
+    [Abort]. Raises [Invalid_argument] if the client is busy. *)
+
+val last_write_ts : t -> Msg.ts option
+(** Timestamp of this client's last completed write (recorded into the
+    history for the order checks). *)
+
+val corrupt : t -> Sbft_sim.Rng.t -> unit
+(** Transient fault on an {e idle} client: scrambles the read-label
+    matrix, the safe set and the cached write timestamp.  Corrupting a
+    client mid-operation models a crash during the operation, which
+    the failure model treats as a failed operation — use
+    {!abandon} for that. *)
+
+val abandon : t -> unit
+(** Abort the in-flight operation without completing it (client crash
+    mid-operation). The continuation is dropped; the client returns to
+    idle. No-op when idle. *)
+
+val aborted_reads : t -> int
+(** Reads this client finished with [Abort]. *)

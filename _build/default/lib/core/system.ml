@@ -1,0 +1,100 @@
+module Engine = Sbft_sim.Engine
+module Rng = Sbft_sim.Rng
+module Network = Sbft_channel.Network
+module Delay = Sbft_channel.Delay
+module Sbls = Sbft_labels.Sbls
+module Mw_ts = Sbft_labels.Mw_ts
+module History = Sbft_spec.History
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Network.t;
+  sys : Sbls.system;
+  servers : Server.t array;
+  clients : Client.t array;
+  history : Msg.ts History.t;
+  fault_rng : Rng.t;
+}
+
+let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ?(trace = false) ?transport ?engine cfg =
+  let engine = match engine with Some e -> e | None -> Engine.create ~trace ~seed () in
+  let net =
+    Network.create engine ~endpoints:(Config.endpoints cfg) ~delay ~classify:Msg.classify
+      ?transport ()
+  in
+  let sys = Sbls.system ~k:cfg.k in
+  let servers = Array.init cfg.n (fun id -> Server.create cfg sys net ~id) in
+  let clients = Array.init cfg.clients (fun i -> Client.create cfg sys net ~id:(cfg.n + i)) in
+  let fault_rng = Rng.split (Engine.rng engine) in
+  { cfg; engine; net; sys; servers; clients; history = History.create (); fault_rng }
+
+let config t = t.cfg
+
+let engine t = t.engine
+
+let network t = t.net
+
+let label_system t = t.sys
+
+let server t id =
+  if not (Config.is_server t.cfg id) then invalid_arg "System.server: not a server id";
+  t.servers.(id)
+
+let client t id =
+  if Config.is_server t.cfg id || id >= Config.endpoints t.cfg then
+    invalid_arg "System.client: not a client id";
+  t.clients.(id - t.cfg.n)
+
+let history t = t.history
+
+let rng t = t.fault_rng
+
+let write t ~client:cid ~value ?(k = fun () -> ()) () =
+  let c = client t cid in
+  let op = History.begin_write t.history ~client:cid ~value ~time:(Engine.now t.engine) in
+  Client.write c ~value (fun () ->
+      History.end_write t.history ~id:op ~time:(Engine.now t.engine) ~ts:(Client.last_write_ts c);
+      k ())
+
+let read t ~client:cid ?(k = fun _ -> ()) () =
+  let c = client t cid in
+  let op = History.begin_read t.history ~client:cid ~time:(Engine.now t.engine) in
+  Client.read c (fun outcome ->
+      History.end_read t.history ~id:op ~time:(Engine.now t.engine) ~outcome;
+      k outcome)
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let quiesce ?(max_events = 10_000_000) t = Engine.run ~max_events t.engine
+
+let corrupt_server t id ~severity = Server.corrupt (server t id) t.fault_rng ~severity
+
+let corrupt_client t id = Client.corrupt (client t id) t.fault_rng
+
+let corrupt_channels t ~density =
+  let eps = Config.endpoints t.cfg in
+  for src = 0 to eps - 1 do
+    for dst = 0 to eps - 1 do
+      if src <> dst && Rng.chance t.fault_rng density then
+        Network.inject t.net ~src ~dst (Msg.garbage t.sys t.fault_rng)
+    done
+  done
+
+let corrupt_everything t ~severity =
+  Array.iteri (fun id _ -> corrupt_server t id ~severity) t.servers;
+  Array.iter (fun c -> if not (Client.busy c) then Client.corrupt c t.fault_rng) t.clients;
+  corrupt_channels t ~density:0.3
+
+let replace_server_handler t id handler =
+  if not (Config.is_server t.cfg id) then invalid_arg "System.replace_server_handler";
+  Network.register t.net id handler
+
+let server_states t =
+  Array.to_list (Array.map (fun s -> (Server.id s, Server.value s, Server.ts s)) t.servers)
+
+let count_holding t ~value ~ts =
+  Array.fold_left (fun acc s -> if Server.holds s ~value ~ts then acc + 1 else acc) 0 t.servers
+
+let total_aborted_reads t =
+  Array.fold_left (fun acc c -> acc + Client.aborted_reads c) 0 t.clients

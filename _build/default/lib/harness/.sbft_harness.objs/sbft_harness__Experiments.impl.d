@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Explorer Int64 List Option Printf Register Sbft_baselines Sbft_byz Sbft_channel Sbft_core Sbft_kv Sbft_labels Sbft_sim Sbft_spec Stats String Table Workload

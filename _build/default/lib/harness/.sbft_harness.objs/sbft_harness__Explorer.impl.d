@@ -1,0 +1,1 @@
+lib/harness/explorer.ml: Format Int64 List Register Sbft_byz Sbft_channel Sbft_core Sbft_spec Workload

@@ -1,0 +1,1 @@
+lib/harness/explorer.mli: Format Sbft_channel

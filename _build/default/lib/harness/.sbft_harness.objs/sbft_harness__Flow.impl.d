@@ -1,0 +1,1 @@
+lib/harness/flow.ml: Buffer Hashtbl Int List Option Printf Sbft_channel Sbft_sim

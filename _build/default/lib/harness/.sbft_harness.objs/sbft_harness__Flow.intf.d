@@ -1,0 +1,1 @@
+lib/harness/flow.mli: Sbft_channel

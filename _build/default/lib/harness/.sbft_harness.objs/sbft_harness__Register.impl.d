@@ -1,0 +1,1 @@
+lib/harness/register.ml: Array List Sbft_baselines Sbft_core Sbft_labels Sbft_sim Sbft_spec

@@ -1,0 +1,1 @@
+lib/harness/register.mli: Sbft_baselines Sbft_core Sbft_sim Sbft_spec

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Fun List Printf String Table

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Int List Register Sbft_sim Set

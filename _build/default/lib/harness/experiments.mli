@@ -1,0 +1,83 @@
+(** The experiment suite — one entry per reproducible artifact of the
+    paper (see DESIGN.md's per-experiment index).
+
+    The paper is theory-only, so "reproducing" it means turning each
+    theorem, lemma and design claim into a measurement:
+
+    - E1: Theorem 1's lower-bound schedule, as executions;
+    - E2: Lemmas 1 & 6 (termination) as latency/message costs;
+    - E3: Lemma 2 (write coverage ≥ 3f+1) as a measured minimum;
+    - E4: Lemma 7 / Theorems 2–3 (regularity) under every adversary;
+    - E5: pseudo-stabilization — convergence after corruption;
+    - E6: bounded labels vs unbounded timestamps;
+    - E7: Lemma 8 (MWMR write order);
+    - E8: §V related-work comparison as a resilience matrix;
+    - E9: tightness of n > 5f;
+    - E10: Assumption 2 (write quiescence) — why it is needed;
+    - E11: the data-link substrate of the §II channel assumption;
+    - E13: Byzantine readers (§VI remark);
+    - E14: ablations of the forwarding rule and read-label pool;
+    - E15: asynchrony sensitivity;
+    - E16: schedule-space exploration;
+    - E17: the register over the full channel stack;
+    - E18: the sharded KV store built on the register;
+    - E19: fault storms with healing, monitored live;
+    - E20: network partition episodes.
+
+    Every function is deterministic (fixed seed set) and returns a
+    {!Table.t}; [dune exec bench/main.exe] renders them all. *)
+
+val e1_lower_bound : unit -> Table.t
+
+val e2_termination : unit -> Table.t
+
+val e3_write_coverage : unit -> Table.t
+
+val e4_regularity : unit -> Table.t
+
+val e5_stabilization : unit -> Table.t
+
+val e6_bounded_labels : unit -> Table.t
+
+val e7_mwmr_order : unit -> Table.t
+
+val e8_baselines : unit -> Table.t
+
+val e9_tightness : unit -> Table.t
+
+val e10_quiescence : unit -> Table.t
+
+val e11_datalink : unit -> Table.t
+
+val e13_byzantine_clients : unit -> Table.t
+(** The §VI remark: Byzantine readers cannot break correct clients. *)
+
+val e14_ablations : unit -> Table.t
+(** Design-choice ablations: the forwarding rule, the read-label pool. *)
+
+val e15_asynchrony : unit -> Table.t
+(** Delay-model sensitivity: latency moves, correctness does not. *)
+
+val e16_exploration : unit -> Table.t
+(** Schedule-space sweep via {!Explorer}: counterexample counts. *)
+
+val e17_full_stack : unit -> Table.t
+(** The register over the whole channel stack: data-links over lossy
+    non-FIFO channels instead of the FIFO axiom. *)
+
+val e18_kv_store : unit -> Table.t
+(** The sharded KV store: scaling in shards, fault blast radius. *)
+
+val e19_fault_storm : unit -> Table.t
+(** Random fault storms with healing, checked live by the invariant
+    monitor — the §VI transient/Byzantine unification. *)
+
+val e20_partition : unit -> Table.t
+(** Partition episodes: stalls and recovery, never violations. *)
+
+val all : unit -> Table.t list
+
+val by_id : string -> (unit -> Table.t) option
+(** Look up by id, case-insensitive ("e4" or "E4"). *)
+
+val ids : string list

@@ -1,0 +1,118 @@
+module Delay = Sbft_channel.Delay
+module System = Sbft_core.System
+module Config = Sbft_core.Config
+module History = Sbft_spec.History
+
+type fault_mode = Clean | Corrupt_t0 | Storm
+
+type scenario = { seed : int64; policy : string; strategy : string; fault : fault_mode }
+
+type failure = { scenario : scenario; kind : [ `Violation of string | `Livelock | `Incomplete ] }
+
+type summary = { runs : int; failures : failure list; total_reads : int; total_aborts : int }
+
+let policies =
+  [
+    ("uniform-2", Delay.uniform ~max:2);
+    ("uniform-10", Delay.uniform ~max:10);
+    ("uniform-50", Delay.uniform ~max:50);
+    ("bimodal", Delay.bimodal ~fast:3 ~slow:60 ~slow_prob:0.1);
+    ("skew-2-slow", Delay.skew ~fast_max:5 ~slow_max:80 ~slow_nodes:[ 0; 1 ]);
+  ]
+
+let strategies = ("none", None) :: List.map (fun (n, s) -> (n, Some s)) Sbft_byz.Strategies.all
+
+let incomplete_ops h =
+  List.length
+    (List.filter
+       (function
+         | History.Write { resp = None; _ } -> true
+         | History.Read { outcome = History.Incomplete; _ } -> true
+         | _ -> false)
+       (History.ops h))
+
+let run_one ~n ~f ~clients ~ops_per_client scenario strategy policy =
+  let cfg = Config.make ~allow_unsafe:true ~n ~f ~clients () in
+  let sys = System.create ~seed:scenario.seed ~delay:policy cfg in
+  (match strategy with Some s -> ignore (Sbft_byz.Strategy.install_all sys s) | None -> ());
+  let last_fault = ref 0 in
+  (match scenario.fault with
+  | Clean -> ()
+  | Corrupt_t0 -> System.corrupt_everything sys ~severity:`Heavy
+  | Storm ->
+      (* A short storm; the audit starts after its final event. *)
+      let plan =
+        Sbft_byz.Fault_plan.storm ~seed:scenario.seed ~n ~f ~clients ~waves:3 ~every:120
+      in
+      last_fault := List.fold_left (fun acc (at, _) -> max acc at) 0 plan;
+      Sbft_byz.Fault_plan.apply sys plan);
+  let reg = Register.core sys in
+  let o = Workload.run ~spec:{ Workload.default with ops_per_client } reg in
+  let h = System.history sys in
+  (* First write that began and completed after the last fault. *)
+  let after =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | History.Write { inv; resp = Some r; _ } when inv >= !last_fault -> min acc r
+        | _ -> acc)
+      max_int (History.ops h)
+  in
+  let check = reg.check_regular ~after () in
+  let failures = ref [] in
+  if o.livelocked then failures := { scenario; kind = `Livelock } :: !failures;
+  if incomplete_ops h > 0 then failures := { scenario; kind = `Incomplete } :: !failures;
+  List.iter (fun d -> failures := { scenario; kind = `Violation d } :: !failures) check.detail;
+  (!failures, check.checked, reg.aborted_reads ())
+
+let explore ?(n = 6) ?(f = 1) ?(clients = 4) ?(ops_per_client = 12) ?(seeds = 5)
+    ?(fault_modes = [ Clean; Corrupt_t0; Storm ]) () =
+  let runs = ref 0 and failures = ref [] and reads = ref 0 and aborts = ref 0 in
+  for seed_i = 1 to seeds do
+    List.iter
+      (fun (pname, policy) ->
+        List.iter
+          (fun (sname, strategy) ->
+            List.iter
+              (fun fault ->
+                (* A storm brings its own (f-budgeted) Byzantine
+                   takeovers; stacking it on a pre-installed strategy
+                   would exceed f and lose liveness by design.  Run
+                   storms only on the strategy-free row. *)
+                if fault = Storm && sname <> "none" then ()
+                else begin
+                let scenario =
+                  { seed = Int64.of_int (7919 * seed_i); policy = pname; strategy = sname; fault }
+                in
+                incr runs;
+                let fs, r, a =
+                  run_one ~n ~f ~clients ~ops_per_client scenario strategy policy
+                in
+                failures := fs @ !failures;
+                reads := !reads + r;
+                aborts := !aborts + a
+                end)
+              fault_modes)
+          strategies)
+      policies
+  done;
+  { runs = !runs; failures = List.rev !failures; total_reads = !reads; total_aborts = !aborts }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<v>explored %d schedules: %d reads audited, %d aborts, %d failures@,"
+    s.runs s.total_reads s.total_aborts (List.length s.failures);
+  List.iter
+    (fun f ->
+      let kind =
+        match f.kind with
+        | `Violation d -> "VIOLATION " ^ d
+        | `Livelock -> "LIVELOCK"
+        | `Incomplete -> "INCOMPLETE OPS"
+      in
+      let fault =
+        match f.scenario.fault with Clean -> "clean" | Corrupt_t0 -> "corrupt-t0" | Storm -> "storm"
+      in
+      Format.fprintf fmt "  seed=%Ld policy=%s strategy=%s fault=%s: %s@," f.scenario.seed
+        f.scenario.policy f.scenario.strategy fault kind)
+    s.failures;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,61 @@
+(** Schedule exploration: sweep the schedule space looking for
+    counterexamples.
+
+    A discrete-event run is a pure function of (seed, delay policy,
+    adversary, corruption); this module enumerates grids of those and
+    audits every run, so a protocol bug shows up as a concrete
+    reproducible tuple rather than a flaky test.  It is the poor
+    man's model checker: no exhaustiveness, but thousands of distinct
+    schedules per second, each checked against the spec.
+
+    Used by the `explore` CLI subcommand and the slow test suite; the
+    default grid covers every Byzantine strategy × several delay
+    policies × {clean, corrupt-at-t0, fault storm}.  Storms run only on
+    the strategy-free row: a storm brings its own f-budgeted Byzantine
+    takeovers, and stacking them on f pre-installed Byzantine servers
+    would exceed the model's bound by design. *)
+
+type fault_mode =
+  | Clean  (** no injected faults beyond the Byzantine strategy *)
+  | Corrupt_t0  (** heavy corruption of everything at t = 0 *)
+  | Storm  (** a random {!Sbft_byz.Fault_plan.storm} during the run *)
+
+type scenario = {
+  seed : int64;
+  policy : string;  (** delay policy name *)
+  strategy : string;  (** Byzantine strategy name, or "none" *)
+  fault : fault_mode;
+}
+
+type failure = {
+  scenario : scenario;
+  kind : [ `Violation of string | `Livelock | `Incomplete ];
+}
+
+type summary = {
+  runs : int;
+  failures : failure list;
+  total_reads : int;
+  total_aborts : int;
+}
+
+val policies : (string * Sbft_channel.Delay.t) list
+(** The delay-policy grid: uniform (several spreads), bimodal,
+    skewed-servers. *)
+
+val explore :
+  ?n:int ->
+  ?f:int ->
+  ?clients:int ->
+  ?ops_per_client:int ->
+  ?seeds:int ->
+  ?fault_modes:fault_mode list ->
+  unit ->
+  summary
+(** Run the full grid: [seeds] seeds (default 5) × {!policies} ×
+    (every strategy + none) × [fault_modes] (default all three).
+    Every run is audited for MWMR regularity after the last fault's
+    first completed write; any violation, livelock or incomplete
+    operation is a failure. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,81 @@
+module Network = Sbft_channel.Network
+module Engine = Sbft_sim.Engine
+
+type entry = { time : int; event : [ `Send | `Deliver ]; src : int; dst : int; label : string }
+
+type t = { mutable rev_entries : entry list }
+
+let attach net ~describe =
+  let t = { rev_entries = [] } in
+  let engine = Network.engine net in
+  Network.observe net
+    (Some
+       (fun ~event ~src ~dst msg ->
+         t.rev_entries <-
+           { time = Engine.now engine; event; src; dst; label = describe msg } :: t.rev_entries));
+  t
+
+let detach net _t = Network.observe net None
+
+let entries t = List.rev t.rev_entries
+
+let clear t = t.rev_entries <- []
+
+let stats t =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.event = `Send then
+        Hashtbl.replace h e.label (1 + Option.value ~default:0 (Hashtbl.find_opt h e.label)))
+    (entries t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+
+let projection ?(from_time = 0) ?(until = max_int) ~endpoint ~name t =
+  let relevant =
+    List.filter
+      (fun e ->
+        e.time >= from_time && e.time <= until
+        &&
+        match e.event with `Send -> e.src = endpoint | `Deliver -> e.dst = endpoint)
+      (entries t)
+  in
+  (* Fold a same-instant broadcast of one message into a peer range. *)
+  let rec group acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        let same e' =
+          e'.time = e.time && e'.event = e.event && e'.label = e.label && e'.event = `Send
+        in
+        let batch, rest = List.partition same rest in
+        if e.event = `Send && batch <> [] then group ((e, e :: batch) :: acc) rest
+        else group ((e, [ e ]) :: acc) rest
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "projection at %s (t in [%s, %s]):\n" (name endpoint)
+       (string_of_int from_time)
+       (if until = max_int then "end" else string_of_int until));
+  List.iter
+    (fun (e, batch) ->
+      let peers =
+        match e.event with
+        | `Send -> List.map (fun x -> x.dst) batch
+        | `Deliver -> [ e.src ]
+      in
+      let peer_str =
+        match peers with
+        | [ p ] -> name p
+        | ps ->
+            let sorted = List.sort Int.compare ps in
+            Printf.sprintf "%s..%s (%d)" (name (List.hd sorted))
+              (name (List.nth sorted (List.length sorted - 1)))
+              (List.length sorted)
+      in
+      let line =
+        match e.event with
+        | `Send -> Printf.sprintf "  [%5d] ──%s──▶ %s\n" e.time e.label peer_str
+        | `Deliver -> Printf.sprintf "  [%5d] ◀──%s── %s\n" e.time e.label peer_str
+      in
+      Buffer.add_string buf line)
+    (group [] relevant);
+  Buffer.contents buf

@@ -1,0 +1,198 @@
+module History = Sbft_spec.History
+module Regularity = Sbft_spec.Regularity
+module Safety = Sbft_spec.Safety
+module Atomicity = Sbft_spec.Atomicity
+module Engine = Sbft_sim.Engine
+module Metrics = Sbft_sim.Metrics
+
+type check = { checked : int; skipped : int; violations : int; detail : string list }
+
+type t = {
+  name : string;
+  n : int;
+  f : int;
+  writer_clients : int list;
+  reader_clients : int list;
+  write : client:int -> value:int -> k:(unit -> unit) -> unit;
+  read : client:int -> k:(Sbft_spec.History.read_outcome -> unit) -> unit;
+  engine : Sbft_sim.Engine.t;
+  quiesce : max_events:int -> unit;
+  check_regular : after:int -> unit -> check;
+  check_safe : after:int -> unit -> check;
+  check_atomic : after:int -> unit -> check;
+  op_latencies : unit -> float array * float array;
+  completed_reads : unit -> int;
+  aborted_reads : unit -> int;
+  completed_writes : unit -> int;
+  first_write_completion : unit -> int option;
+  messages_sent : unit -> int;
+  max_ts_bits : unit -> int;
+}
+
+let latencies h =
+  let w = ref [] and r = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | History.Write { inv; resp = Some resp; _ } -> w := float_of_int (resp - inv) :: !w
+      | History.Read { inv; resp = Some resp; outcome = History.Value _; _ } ->
+          r := float_of_int (resp - inv) :: !r
+      | _ -> ())
+    (History.ops h);
+  (Array.of_list (List.rev !w), Array.of_list (List.rev !r))
+
+let completed_writes h =
+  List.length
+    (List.filter (function History.Write { resp = Some _; _ } -> true | _ -> false) (History.ops h))
+
+let first_write_completion h =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | History.Write { resp = Some r; _ } -> (
+          match acc with None -> Some r | Some a -> Some (min a r))
+      | _ -> acc)
+    None (History.ops h)
+
+let make_checks (type ts) ~(prec : ts -> ts -> bool) (h : ts History.t) =
+  let regular ~after () =
+    let r = Regularity.check ~after ~ts_prec:prec h in
+    {
+      checked = r.checked_reads;
+      skipped = r.skipped_reads;
+      violations = List.length r.violations;
+      detail = List.map (fun (v : Regularity.violation) -> v.detail) r.violations;
+    }
+  in
+  let safe ~after () =
+    let r = Safety.check ~after ~ts_prec:prec h in
+    {
+      checked = r.checked_reads;
+      skipped = r.unconstrained_reads;
+      violations = List.length r.violations;
+      detail = List.map (fun (v : Safety.violation) -> v.detail) r.violations;
+    }
+  in
+  let atomic ~after () =
+    let r = Atomicity.check ~after h in
+    {
+      checked = r.checked_ops;
+      skipped = 0;
+      violations = (if r.linearizable then 0 else 1);
+      detail = (match r.cycle with Some c -> [ c ] | None -> []);
+    }
+  in
+  (regular, safe, atomic)
+
+let core sys =
+  let cfg = Sbft_core.System.config sys in
+  let h = Sbft_core.System.history sys in
+  let engine = Sbft_core.System.engine sys in
+  let regular, safe, atomic = make_checks ~prec:Sbft_labels.Mw_ts.prec h in
+  let sbls = Sbft_core.System.label_system sys in
+  {
+    name = "sbft-core";
+    n = cfg.n;
+    f = cfg.f;
+    writer_clients = Sbft_core.Config.client_ids cfg;
+    reader_clients = Sbft_core.Config.client_ids cfg;
+    write = (fun ~client ~value ~k -> Sbft_core.System.write sys ~client ~value ~k ());
+    read = (fun ~client ~k -> Sbft_core.System.read sys ~client ~k ());
+    engine;
+    quiesce = (fun ~max_events -> Sbft_core.System.quiesce ~max_events sys);
+    check_regular = regular;
+    check_safe = safe;
+    check_atomic = atomic;
+    op_latencies = (fun () -> latencies h);
+    completed_reads = (fun () -> History.completed_reads h);
+    aborted_reads = (fun () -> History.aborted_reads h);
+    completed_writes = (fun () -> completed_writes h);
+    first_write_completion = (fun () -> first_write_completion h);
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    max_ts_bits = (fun () -> Sbft_labels.Sbls.size_bits sbls);
+  }
+
+let unbounded_bits max_ts = Sbft_labels.Unbounded.size_bits { Sbft_labels.Unbounded.ts = max_ts; writer = 0 }
+
+let client_span n clients = List.init clients (fun i -> n + i)
+
+let abd ~n ~f ~clients sys =
+  let module A = Sbft_baselines.Abd in
+  let h = A.history sys in
+  let engine = A.engine sys in
+  let regular, safe, atomic = make_checks ~prec:Sbft_labels.Unbounded.prec h in
+  {
+    name = "abd";
+    n;
+    f;
+    writer_clients = client_span n clients;
+    reader_clients = client_span n clients;
+    write = (fun ~client ~value ~k -> A.write sys ~client ~value ~k ());
+    read = (fun ~client ~k -> A.read sys ~client ~k ());
+    engine;
+    quiesce = (fun ~max_events -> A.quiesce ~max_events sys);
+    check_regular = regular;
+    check_safe = safe;
+    check_atomic = atomic;
+    op_latencies = (fun () -> latencies h);
+    completed_reads = (fun () -> History.completed_reads h);
+    aborted_reads = (fun () -> History.aborted_reads h);
+    completed_writes = (fun () -> completed_writes h);
+    first_write_completion = (fun () -> first_write_completion h);
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    max_ts_bits = (fun () -> unbounded_bits (A.max_ts sys));
+  }
+
+let mr_safe ~n ~f ~clients sys =
+  let module M = Sbft_baselines.Mr_safe in
+  let h = M.history sys in
+  let engine = M.engine sys in
+  let regular, safe, atomic = make_checks ~prec:Sbft_labels.Unbounded.prec h in
+  {
+    name = "mr-safe";
+    n;
+    f;
+    writer_clients = [ n ];
+    reader_clients = client_span n clients;
+    write = (fun ~client:_ ~value ~k -> M.write sys ~value ~k ());
+    read = (fun ~client ~k -> M.read sys ~client ~k ());
+    engine;
+    quiesce = (fun ~max_events -> M.quiesce ~max_events sys);
+    check_regular = regular;
+    check_safe = safe;
+    check_atomic = atomic;
+    op_latencies = (fun () -> latencies h);
+    completed_reads = (fun () -> History.completed_reads h);
+    aborted_reads = (fun () -> History.aborted_reads h);
+    completed_writes = (fun () -> completed_writes h);
+    first_write_completion = (fun () -> first_write_completion h);
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    max_ts_bits = (fun () -> unbounded_bits (M.max_ts sys));
+  }
+
+let kanjani ~n ~f ~clients sys =
+  let module K = Sbft_baselines.Kanjani in
+  let h = K.history sys in
+  let engine = K.engine sys in
+  let regular, safe, atomic = make_checks ~prec:Sbft_labels.Unbounded.prec h in
+  {
+    name = "kanjani";
+    n;
+    f;
+    writer_clients = client_span n clients;
+    reader_clients = client_span n clients;
+    write = (fun ~client ~value ~k -> K.write sys ~client ~value ~k ());
+    read = (fun ~client ~k -> K.read sys ~client ~k ());
+    engine;
+    quiesce = (fun ~max_events -> K.quiesce ~max_events sys);
+    check_regular = regular;
+    check_safe = safe;
+    check_atomic = atomic;
+    op_latencies = (fun () -> latencies h);
+    completed_reads = (fun () -> History.completed_reads h);
+    aborted_reads = (fun () -> History.aborted_reads h);
+    completed_writes = (fun () -> completed_writes h);
+    first_write_completion = (fun () -> first_write_completion h);
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    max_ts_bits = (fun () -> unbounded_bits (K.max_ts sys));
+  }

@@ -1,0 +1,69 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let table_html (t : Table.t) =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add (Printf.sprintf "<section id=%S>\n" (String.lowercase_ascii t.id));
+  add (Printf.sprintf "<h2>%s — %s</h2>\n" (escape t.id) (escape t.title));
+  add "<table>\n<thead><tr>";
+  List.iter (fun h -> add (Printf.sprintf "<th>%s</th>" (escape h))) t.header;
+  add "</tr></thead>\n<tbody>\n";
+  List.iter
+    (fun row ->
+      add "<tr>";
+      List.iter (fun cell -> add (Printf.sprintf "<td>%s</td>" (escape cell))) row;
+      add "</tr>\n")
+    t.rows;
+  add "</tbody>\n</table>\n";
+  List.iter (fun n -> add (Printf.sprintf "<p class=\"note\">%s</p>\n" (escape n))) t.notes;
+  add "</section>\n";
+  Buffer.contents buf
+
+let css =
+  {|body{font-family:ui-monospace,monospace;max-width:72rem;margin:2rem auto;padding:0 1rem;
+background:#fdfdfd;color:#1a1a1a}
+h1{font-size:1.4rem;border-bottom:2px solid #333;padding-bottom:.4rem}
+h2{font-size:1.05rem;margin-top:2.2rem}
+table{border-collapse:collapse;margin:.6rem 0;font-size:.85rem}
+th,td{border:1px solid #bbb;padding:.25rem .6rem;text-align:left}
+th{background:#eee}
+tr:nth-child(even) td{background:#f6f6f6}
+.note{font-size:.8rem;color:#555;margin:.15rem 0}
+.preamble{font-size:.9rem;color:#333}
+nav a{margin-right:.8rem;font-size:.85rem}|}
+
+let page ?(title = "sbft experiments") ?(preamble = "") tables =
+  let buf = Buffer.create 8192 in
+  let add = Buffer.add_string buf in
+  add "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n";
+  add (Printf.sprintf "<title>%s</title>\n<style>%s</style></head>\n<body>\n" (escape title) css);
+  add (Printf.sprintf "<h1>%s</h1>\n" (escape title));
+  if preamble <> "" then add (Printf.sprintf "<div class=\"preamble\">%s</div>\n" preamble);
+  add "<nav>";
+  List.iter
+    (fun (t : Table.t) ->
+      add
+        (Printf.sprintf "<a href=\"#%s\">%s</a>" (String.lowercase_ascii t.id) (escape t.id)))
+    tables;
+  add "</nav>\n";
+  List.iter (fun t -> add (table_html t)) tables;
+  add "</body></html>\n";
+  Buffer.contents buf
+
+let write_file ~path ?title ?preamble tables =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (page ?title ?preamble tables))

@@ -1,0 +1,18 @@
+(** Self-contained HTML reports of experiment tables.
+
+    [dune exec bin/sbftreg.exe -- experiment all --html report.html]
+    writes every table into one static page (inline CSS, no assets) —
+    the shareable artifact of a reproduction run. *)
+
+val escape : string -> string
+(** HTML-escape ampersand, angle brackets and quotes. *)
+
+val table_html : Table.t -> string
+(** One table as an HTML fragment ([<section>] with caption, table and
+    notes). *)
+
+val page : ?title:string -> ?preamble:string -> Table.t list -> string
+(** A complete standalone document. [preamble] is raw HTML inserted
+    before the first table (escape user data yourself). *)
+
+val write_file : path:string -> ?title:string -> ?preamble:string -> Table.t list -> unit

@@ -1,0 +1,24 @@
+(** Summary statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** All-zero summary for an empty array. *)
+
+val mean : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], nearest-rank on a sorted
+    copy. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val of_ints : int list -> float array

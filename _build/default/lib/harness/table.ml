@@ -1,0 +1,40 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let widths t =
+  let cols = List.length t.header in
+  let w = Array.make cols 0 in
+  List.iteri (fun i h -> w.(i) <- String.length h) t.header;
+  List.iter
+    (fun row -> List.iteri (fun i cell -> if i < cols then w.(i) <- max w.(i) (String.length cell)) row)
+    t.rows;
+  w
+
+let render fmt t =
+  let w = widths t in
+  let pad i s = s ^ String.make (max 0 (w.(i) - String.length s)) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  Format.fprintf fmt "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf fmt "%s@." (line t.header);
+  Format.fprintf fmt "%s@."
+    (String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w)));
+  List.iter (fun row -> Format.fprintf fmt "%s@." (line row)) t.rows;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes
+
+let to_csv t =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+
+let print t = render Format.std_formatter t

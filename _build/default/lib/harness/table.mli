@@ -1,0 +1,22 @@
+(** Result tables: the experiment harness's output format.
+
+    Each experiment produces one {!t}; the bench driver renders them to
+    stdout (aligned ASCII) and EXPERIMENTS.md records the same rows.
+    Keep cells short — shape over precision. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E4" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** caveats, expected shape, paper anchor *)
+}
+
+val make : id:string -> title:string -> header:string list -> ?notes:string list -> string list list -> t
+
+val render : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [render] to stdout. *)

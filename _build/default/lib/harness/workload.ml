@@ -1,0 +1,60 @@
+module Engine = Sbft_sim.Engine
+module Rng = Sbft_sim.Rng
+
+type spec = { ops_per_client : int; write_ratio : float; think_max : int; value_base : int }
+
+let default = { ops_per_client = 20; write_ratio = 0.3; think_max = 20; value_base = 1000 }
+
+type outcome = { issued_writes : int; issued_reads : int; wall_ticks : int; livelocked : bool }
+
+let run_mixed ?(spec = default) ?(max_events = 20_000_000) ~writers ~readers (reg : Register.t) =
+  let engine = reg.engine in
+  let rng = Rng.split (Engine.rng engine) in
+  let next_value = ref spec.value_base in
+  let issued_writes = ref 0 and issued_reads = ref 0 in
+  let start = Engine.now engine in
+  (* Every client in either role participates; a client in both roles
+     mixes according to write_ratio. *)
+  let module ISet = Set.Make (Int) in
+  let wset = ISet.of_list writers and rset = ISet.of_list readers in
+  let participants = ISet.elements (ISet.union wset rset) in
+  let rec step client remaining =
+    if remaining > 0 then begin
+      let writes = ISet.mem client wset and reads = ISet.mem client rset in
+      let do_write = writes && ((not reads) || Rng.chance rng spec.write_ratio) in
+      let continue () =
+        Engine.schedule engine ~delay:(Rng.int_in rng 1 (max 1 spec.think_max)) (fun () ->
+            step client (remaining - 1))
+      in
+      if do_write then begin
+        let value = !next_value in
+        incr next_value;
+        incr issued_writes;
+        reg.write ~client ~value ~k:continue
+      end
+      else begin
+        incr issued_reads;
+        reg.read ~client ~k:(fun _ -> continue ())
+      end
+    end
+  in
+  List.iter
+    (fun client ->
+      Engine.schedule engine ~delay:(Rng.int_in rng 1 (max 1 spec.think_max)) (fun () ->
+          step client spec.ops_per_client))
+    participants;
+  let livelocked =
+    try
+      reg.quiesce ~max_events;
+      false
+    with Engine.Budget_exhausted -> true
+  in
+  {
+    issued_writes = !issued_writes;
+    issued_reads = !issued_reads;
+    wall_ticks = Engine.now engine - start;
+    livelocked;
+  }
+
+let run ?spec ?max_events (reg : Register.t) =
+  run_mixed ?spec ?max_events ~writers:reg.writer_clients ~readers:reg.reader_clients reg

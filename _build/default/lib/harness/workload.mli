@@ -1,0 +1,37 @@
+(** Closed-loop workload generator.
+
+    Drives a {!Register.t} with a population of sequential clients:
+    each client issues an operation, waits for its completion, thinks
+    for a random interval, and repeats, until it has issued its quota.
+    Written values are globally unique (a requirement of the spec
+    checkers).  Reads that abort still count against the quota — the
+    stabilization experiments measure exactly that.
+
+    The generator is deterministic given the register's engine seed
+    and [spec]; all randomness (operation mix, think times) is drawn
+    from a stream split off the engine's master PRNG. *)
+
+type spec = {
+  ops_per_client : int;
+  write_ratio : float;  (** probability an op is a write (for clients allowed to write) *)
+  think_max : int;  (** think time uniform in [1, think_max] ticks *)
+  value_base : int;  (** first value to write; successive writes increment *)
+}
+
+val default : spec
+(** 20 ops/client, 0.3 write ratio, think ≤ 20 ticks, values from 1000. *)
+
+type outcome = {
+  issued_writes : int;
+  issued_reads : int;
+  wall_ticks : int;  (** virtual time consumed by the whole run *)
+  livelocked : bool;  (** the event budget fired before all clients finished *)
+}
+
+val run : ?spec:spec -> ?max_events:int -> Register.t -> outcome
+(** Drive the register to completion (or budget exhaustion). *)
+
+val run_mixed :
+  ?spec:spec -> ?max_events:int -> writers:int list -> readers:int list -> Register.t -> outcome
+(** Like {!run} but with explicit role assignment (e.g. one writer and
+    many readers for the SWMR experiments). *)

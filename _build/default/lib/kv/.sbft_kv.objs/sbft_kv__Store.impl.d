@@ -1,0 +1,1 @@
+lib/kv/store.ml: Char Format Hashtbl List Sbft_channel Sbft_core Sbft_labels Sbft_sim Sbft_spec String

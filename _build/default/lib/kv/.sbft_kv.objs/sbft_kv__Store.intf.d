@@ -1,0 +1,1 @@
+lib/kv/store.mli: Format Sbft_channel Sbft_core Sbft_sim Sbft_spec

@@ -1,0 +1,127 @@
+module Engine = Sbft_sim.Engine
+module System = Sbft_core.System
+module Config = Sbft_core.Config
+module History = Sbft_spec.History
+
+type outcome = History.read_outcome
+
+type t = {
+  engine : Engine.t;
+  delay : Sbft_channel.Delay.t;
+  transport : Sbft_channel.Network.transport option;
+  shards : int;
+  n : int;
+  f : int;
+  clients : int;
+  systems : (string, System.t) Hashtbl.t; (* key -> its register deployment *)
+  shard_hooks : (int, (System.t -> unit) list ref) Hashtbl.t;
+  mutable ops : int;
+}
+
+let create ?(seed = 42L) ?(delay = Sbft_channel.Delay.uniform ~max:10) ?transport ~shards ~n ~f
+    ~clients () =
+  if shards < 1 then invalid_arg "Store.create: need at least one shard";
+  (* Validate the per-shard register parameters once, eagerly. *)
+  ignore (Config.make ~n ~f ~clients ());
+  let engine = Engine.create ~seed () in
+  {
+    engine;
+    delay;
+    transport;
+    shards;
+    n;
+    f;
+    clients;
+    systems = Hashtbl.create 32;
+    shard_hooks = Hashtbl.create 8;
+    ops = 0;
+  }
+
+let shard_count t = t.shards
+
+(* FNV-1a (63-bit), folded into the shard count. *)
+let shard_of_key t key =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  abs !h mod t.shards
+
+let engine t = t.engine
+
+let hooks_for t shard =
+  match Hashtbl.find_opt t.shard_hooks shard with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.shard_hooks shard r;
+      r
+
+let system_for t key =
+  match Hashtbl.find_opt t.systems key with
+  | Some sys -> sys
+  | None ->
+      let cfg = Config.make ~n:t.n ~f:t.f ~clients:t.clients () in
+      let sys = System.create ~engine:t.engine ~delay:t.delay ?transport:t.transport cfg in
+      Hashtbl.add t.systems key sys;
+      (* Replay the shard's fault history onto the new key register:
+         physical co-residency means a compromised shard is compromised
+         for every key it hosts. *)
+      List.iter (fun hook -> hook sys) (List.rev !(hooks_for t (shard_of_key t key)));
+      sys
+
+let endpoint t client =
+  if client < 0 || client >= t.clients then invalid_arg "Store: bad client index";
+  t.n + client
+
+let put t ~client ~key ~value ?(k = fun () -> ()) () =
+  t.ops <- t.ops + 1;
+  System.write (system_for t key) ~client:(endpoint t client) ~value ~k ()
+
+let get t ~client ~key ?(k = fun _ -> ()) () =
+  t.ops <- t.ops + 1;
+  System.read (system_for t key) ~client:(endpoint t client) ~k ()
+
+let quiesce ?(max_events = 50_000_000) t = Engine.run ~max_events t.engine
+
+let apply_to_shard t ~shard hook =
+  let r = hooks_for t shard in
+  r := hook :: !r;
+  Hashtbl.iter (fun key sys -> if shard_of_key t key = shard then hook sys) t.systems
+
+let corrupt_everything t ~severity =
+  for shard = 0 to t.shards - 1 do
+    apply_to_shard t ~shard (fun sys -> System.corrupt_everything sys ~severity)
+  done
+
+let check_regular ?(after = 0) t =
+  Hashtbl.fold
+    (fun _key sys (checked, violations) ->
+      let h = System.history sys in
+      (* The pseudo-stabilization suffix for this key starts at its
+         first write that both began and completed from [after] on —
+         a write already in flight when a fault struck may have been
+         disturbed by it. *)
+      let scrub =
+        List.fold_left
+          (fun acc op ->
+            match op with
+            | History.Write { inv; resp = Some r; _ } when inv >= after -> min acc r
+            | _ -> acc)
+          max_int (History.ops h)
+      in
+      let r = Sbft_spec.Regularity.check ~after:scrub ~ts_prec:Sbft_labels.Mw_ts.prec h in
+      (checked + r.checked_reads, violations + List.length r.violations))
+    t.systems (0, 0)
+
+let keys_touched t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.systems [] |> List.sort String.compare
+
+let ops_issued t = t.ops
+
+let pp_stats fmt t =
+  let msgs = Sbft_sim.Metrics.get (Engine.metrics t.engine) "net.sent" in
+  Format.fprintf fmt "shards=%d keys=%d ops=%d messages=%d vtime=%d" t.shards
+    (Hashtbl.length t.systems) t.ops msgs (Engine.now t.engine)

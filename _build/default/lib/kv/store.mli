@@ -1,0 +1,82 @@
+(** A sharded key-value store built on the stabilizing register — the
+    cloud-storage service the paper's introduction motivates.
+
+    Keys are strings; each key is one MWMR regular register.  The key
+    space is hash-partitioned across [shards] replica groups of [n]
+    servers tolerating [f] Byzantine failures each — the standard shape
+    of a replicated cloud store, with per-group fault thresholds.
+
+    {b Modeling note.}  On a real deployment each physical server
+    multiplexes one register automaton per key it hosts.  The
+    simulation instantiates those automata as one register deployment
+    per (shard, key), lazily on first touch, all sharing a single
+    virtual clock; physical co-residency is captured by {e correlated
+    fault injection} — compromising or corrupting a shard applies to
+    every key register it hosts, current and future.  Per-key protocol
+    behaviour and the fault coupling are exactly preserved; per-server
+    queueing across keys is not modelled.
+
+    Semantics inherited per key: MWMR regularity, tolerance of [f]
+    Byzantine servers per shard, pseudo-stabilization after transient
+    corruption, [Abort] as the transitory-phase answer.  There are no
+    cross-key ordering guarantees — each key is an independent regular
+    register, which gives exactly per-key regularity and nothing more.
+
+    Values are integers at this layer (the register's value type);
+    string payloads belong in an external blob table keyed by these
+    integers, as in any pointer-based store. *)
+
+type t
+
+type outcome = Sbft_spec.History.read_outcome
+
+val create :
+  ?seed:int64 ->
+  ?delay:Sbft_channel.Delay.t ->
+  ?transport:Sbft_channel.Network.transport ->
+  shards:int ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  unit ->
+  t
+(** [clients] is the number of logical store clients; each holds one
+    connection (client endpoint) into every key register it touches. *)
+
+val shard_count : t -> int
+
+val shard_of_key : t -> string -> int
+(** The hash partition (FNV-1a mod shards); exposed for tests and
+    placement-aware experiments. *)
+
+val engine : t -> Sbft_sim.Engine.t
+
+val put : t -> client:int -> key:string -> value:int -> ?k:(unit -> unit) -> unit -> unit
+(** [put t ~client ~key ~value]: [client] is a logical index in
+    [0 .. clients-1].  Raises if the client has another operation in
+    flight {e on the same key}. *)
+
+val get : t -> client:int -> key:string -> ?k:(outcome -> unit) -> unit -> unit
+
+val quiesce : ?max_events:int -> t -> unit
+
+val apply_to_shard : t -> shard:int -> (Sbft_core.System.t -> unit) -> unit
+(** Correlated fault injection: run the hook on every key register the
+    shard currently hosts and on every one it creates later.  Use with
+    {!Sbft_byz.Strategy.install_all}, {!Sbft_core.System.corrupt_everything},
+    etc. *)
+
+val corrupt_everything : t -> severity:[ `Light | `Heavy ] -> unit
+(** Transient corruption across every shard (current and future key
+    registers). *)
+
+val check_regular : ?after:int -> t -> int * int
+(** [(reads_checked, violations)] summed over every key's register
+    audit. *)
+
+val keys_touched : t -> string list
+(** Sorted. *)
+
+val ops_issued : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

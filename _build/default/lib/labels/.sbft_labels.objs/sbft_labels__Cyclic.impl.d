@@ -1,0 +1,1 @@
+lib/labels/cyclic.ml: Format Fun List Sbft_sim

@@ -1,0 +1,1 @@
+lib/labels/cyclic.mli: Format Sbft_sim

@@ -1,0 +1,1 @@
+lib/labels/mw_ts.ml: Format Int List Sbft_sim Sbls

@@ -1,0 +1,1 @@
+lib/labels/mw_ts.mli: Format Sbft_sim Sbls

@@ -1,0 +1,1 @@
+lib/labels/read_labels.ml: Array Format Sbft_sim

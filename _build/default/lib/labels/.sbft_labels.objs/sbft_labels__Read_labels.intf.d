@@ -1,0 +1,1 @@
+lib/labels/read_labels.mli: Format Sbft_sim

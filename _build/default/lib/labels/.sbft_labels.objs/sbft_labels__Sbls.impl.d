@@ -1,0 +1,1 @@
+lib/labels/sbls.ml: Array Format Hashtbl Int List Sbft_sim Stdlib

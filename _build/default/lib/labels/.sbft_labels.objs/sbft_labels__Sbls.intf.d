@@ -1,0 +1,1 @@
+lib/labels/sbls.mli: Format Sbft_sim

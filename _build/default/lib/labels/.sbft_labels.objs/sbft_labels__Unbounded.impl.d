@@ -1,0 +1,1 @@
+lib/labels/unbounded.ml: Format Int List Sbft_sim

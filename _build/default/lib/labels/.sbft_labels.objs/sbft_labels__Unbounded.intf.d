@@ -1,0 +1,1 @@
+lib/labels/unbounded.mli: Format Sbft_sim

@@ -1,0 +1,1 @@
+lib/labels/wtsg.ml: Format Int List Map Mw_ts Option

@@ -1,0 +1,1 @@
+lib/labels/wtsg.mli: Format Mw_ts

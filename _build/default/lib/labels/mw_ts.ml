@@ -1,0 +1,25 @@
+type t = { label : Sbls.t; writer : int }
+
+let make ~label ~writer = { label; writer }
+
+let initial sys = { label = Sbls.initial sys; writer = 0 }
+
+let prec t1 t2 =
+  Sbls.prec t1.label t2.label || (Sbls.equal t1.label t2.label && t1.writer < t2.writer)
+
+let equal t1 t2 = Sbls.equal t1.label t2.label && t1.writer = t2.writer
+
+let compare t1 t2 =
+  match Sbls.compare t1.label t2.label with 0 -> Int.compare t1.writer t2.writer | c -> c
+
+let next sys ~writer ts = { label = Sbls.next sys (List.map (fun t -> t.label) ts); writer }
+
+let random sys rng ~clients =
+  { label = Sbls.random sys rng; writer = Sbft_sim.Rng.int rng (max 1 clients) }
+
+let random_garbage sys rng =
+  { label = Sbls.random_garbage sys rng; writer = Sbft_sim.Rng.int_in rng (-4) 1000 }
+
+let pp fmt t = Format.fprintf fmt "%a@%d" Sbls.pp t.label t.writer
+
+let to_string t = Format.asprintf "%a" pp t

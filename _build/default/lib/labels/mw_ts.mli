@@ -1,0 +1,40 @@
+(** Write timestamps: a bounded label tagged with the writer identity.
+
+    The paper's multi-writer extension (§IV-D): "each value written by
+    a writer is associated a tuple (id, timestamp) where id is the
+    identity of the writer and timestamp is a k-bounded label".  The
+    precedence relation lifts the label order and breaks ties between
+    equal labels by writer id, which is what makes concurrent writes
+    totally orderable (Lemma 8).  The single-writer protocol is the
+    special case where every timestamp carries the same id. *)
+
+type t = { label : Sbls.t; writer : int }
+
+val make : label:Sbls.t -> writer:int -> t
+
+val initial : Sbls.system -> t
+(** Clean-start timestamp: the initial label, writer 0. *)
+
+val prec : t -> t -> bool
+(** [prec t1 t2]: label precedence, writer id breaking label-equal
+    ties.  Inherits the label relation's antisymmetry and
+    non-transitivity. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Structural order for container keys; unrelated to [prec]. *)
+
+val next : Sbls.system -> writer:int -> t list -> t
+(** Timestamp for a new write by [writer], dominating every input
+    timestamp (for at most [k] inputs). *)
+
+val random : Sbls.system -> Sbft_sim.Rng.t -> clients:int -> t
+(** Random valid timestamp — corrupted-memory model. *)
+
+val random_garbage : Sbls.system -> Sbft_sim.Rng.t -> t
+(** Arbitrary ill-formed timestamp. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,58 @@
+type t = { servers : int; pool : int; matrix : bool array array; mutable last : int }
+
+let create ~servers ~pool =
+  if pool < 2 then invalid_arg "Read_labels.create: pool must be >= 2";
+  { servers; pool; matrix = Array.make_matrix servers pool false; last = 0 }
+
+let pool t = t.pool
+
+let in_range t ~server ~label = server >= 0 && server < t.servers && label >= 0 && label < t.pool
+
+let pending_count t ~label =
+  if label < 0 || label >= t.pool then 0
+  else begin
+    let c = ref 0 in
+    for s = 0 to t.servers - 1 do
+      if t.matrix.(s).(label) then incr c
+    done;
+    !c
+  end
+
+let choose t =
+  let best = ref (-1) and best_pending = ref max_int in
+  for l = 0 to t.pool - 1 do
+    if l <> t.last then begin
+      let p = pending_count t ~label:l in
+      if p < !best_pending then begin
+        best := l;
+        best_pending := p
+      end
+    end
+  done;
+  t.last <- !best;
+  !best
+
+let last t = t.last
+
+let mark_pending t ~server ~label =
+  if in_range t ~server ~label then t.matrix.(server).(label) <- true
+
+let clear_pending t ~server ~label =
+  if in_range t ~server ~label then t.matrix.(server).(label) <- false
+
+let is_pending t ~server ~label = in_range t ~server ~label && t.matrix.(server).(label)
+
+let corrupt t rng =
+  let open Sbft_sim.Rng in
+  t.last <- int_in rng (-1) (t.pool + 2);
+  Array.iter (fun row -> Array.iteri (fun i _ -> row.(i) <- bool rng) row) t.matrix
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>last=%d@," t.last;
+  Array.iteri
+    (fun s row ->
+      Format.fprintf fmt "s%d:" s;
+      Array.iter (fun b -> Format.pp_print_char fmt (if b then '1' else '0')) row;
+      Format.pp_print_cut fmt ())
+    t.matrix;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,25 @@
+type t = { ts : int; writer : int }
+
+let initial = { ts = 0; writer = 0 }
+
+let compare a b = match Int.compare a.ts b.ts with 0 -> Int.compare a.writer b.writer | c -> c
+
+let prec a b = compare a b < 0
+
+let equal a b = compare a b = 0
+
+let next ~writer ts =
+  let m = List.fold_left (fun acc t -> max acc t.ts) 0 ts in
+  { ts = m + 1; writer }
+
+let size_bits t =
+  let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+  bits (max 1 t.ts) 1
+
+let random rng =
+  (* Heavy-tailed: most corruptions are small, some are catastrophic. *)
+  let open Sbft_sim.Rng in
+  let magnitude = match int rng 4 with 0 -> 100 | 1 -> 10_000 | 2 -> 1_000_000 | _ -> max_int / 2 in
+  { ts = int rng magnitude; writer = int rng 8 }
+
+let pp fmt t = Format.fprintf fmt "%d@%d" t.ts t.writer

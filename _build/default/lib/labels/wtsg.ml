@@ -1,0 +1,92 @@
+type witness = { server : int; value : int; ts : Mw_ts.t; rank : int }
+
+type node = { value : int; ts : Mw_ts.t; weight : int }
+
+module Key = struct
+  type t = int * Mw_ts.t
+
+  let compare (v1, t1) (v2, t2) =
+    match Int.compare v1 v2 with 0 -> Mw_ts.compare t1 t2 | c -> c
+end
+
+module KMap = Map.Make (Key)
+module IMap = Map.Make (Int)
+
+type t = {
+  nodes : node list; (* heaviest first *)
+  ranks : int IMap.t KMap.t; (* node -> server -> best (smallest) rank *)
+}
+
+let node_order a b =
+  match Int.compare b.weight a.weight with
+  | 0 -> ( match Mw_ts.compare a.ts b.ts with 0 -> Int.compare a.value b.value | c -> c)
+  | c -> c
+
+let build witnesses =
+  (* Keep, per (value, ts) node and per server, the most recent (lowest)
+     rank that server reported the pair at; the node's weight is its
+     number of distinct witnessing servers. *)
+  let ranks =
+    List.fold_left
+      (fun acc (w : witness) ->
+        let key = (w.value, w.ts) in
+        let per_server = Option.value ~default:IMap.empty (KMap.find_opt key acc) in
+        let better =
+          match IMap.find_opt w.server per_server with
+          | Some r -> min r w.rank
+          | None -> w.rank
+        in
+        KMap.add key (IMap.add w.server better per_server) acc)
+      KMap.empty witnesses
+  in
+  let nodes =
+    KMap.fold (fun (value, ts) per_server acc -> { value; ts; weight = IMap.cardinal per_server } :: acc)
+      ranks []
+    |> List.sort node_order
+  in
+  { nodes; ranks }
+
+let nodes t = t.nodes
+
+let node_count t = List.length t.nodes
+
+let edges t =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if Mw_ts.prec a.ts b.ts then Some (a, b) else None) t.nodes)
+    t.nodes
+
+let ranks_of t n = Option.value ~default:IMap.empty (KMap.find_opt (n.value, n.ts) t.ranks)
+
+let newer t a b =
+  let ra = ranks_of t a and rb = ranks_of t b in
+  let a_newer = ref 0 and b_newer = ref 0 in
+  IMap.iter
+    (fun server rank_a ->
+      match IMap.find_opt server rb with
+      | Some rank_b -> if rank_a < rank_b then incr a_newer else if rank_b < rank_a then incr b_newer
+      | None -> ())
+    ra;
+  !a_newer > !b_newer
+
+let best t ~min_weight =
+  let qualifying = List.filter (fun n -> n.weight >= min_weight) t.nodes in
+  let undefeated =
+    List.filter (fun n -> not (List.exists (fun n' -> newer t n' n) qualifying)) qualifying
+  in
+  let pool = match undefeated with [] -> qualifying | l -> l in
+  (* Tie-breaks among vote-undefeated nodes: label ≺ maximality (sound
+     for the consecutive-write pairs that typically remain), then the
+     deterministic weight order. *)
+  let maximal =
+    List.filter (fun n -> not (List.exists (fun n' -> Mw_ts.prec n.ts n'.ts) pool)) pool
+  in
+  match maximal with
+  | n :: _ -> Some n
+  | [] -> ( match pool with n :: _ -> Some n | [] -> None)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun n -> Format.fprintf fmt "%a = %d  (weight %d)@," Mw_ts.pp n.ts n.value n.weight)
+    t.nodes;
+  Format.fprintf fmt "@]"

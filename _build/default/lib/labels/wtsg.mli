@@ -1,0 +1,63 @@
+(** Weighted Timestamp Graph (Definition 3 of the paper).
+
+    A node-weighted directed graph over the ⟨value, timestamp⟩ pairs a
+    reader has gathered: the weight of a node is the number of distinct
+    servers witnessing that exact pair, and there is an edge from node
+    [i] to node [j] when [tsᵢ ≺ tsⱼ].  A reader returns the value of a
+    node witnessed by at least [2f + 1] servers — enough that at least
+    [f + 1] witnesses are correct, hence at least one of them holds the
+    genuinely last written value.
+
+    Witnesses are deduplicated per server: a Byzantine server listing
+    the same pair many times (e.g. throughout its [old_vals] history)
+    still contributes weight 1 to that node, so it cannot inflate a
+    stale value past the threshold.
+
+    {b Choosing among several qualifying nodes.}  In the union graph
+    (replies plus per-server histories) every recently-written pair is
+    witnessed by almost all servers, so several nodes typically clear
+    the threshold and the read must return the {e newest}.  The bounded
+    label relation [≺] orders consecutive writes reliably but compares
+    distant (wrapped-around) labels arbitrarily, so [≺]-maximality
+    alone can be fooled.  Each witness therefore carries its {e rank}
+    in the server's report — 0 for the current pair, [i + 1] for the
+    [i]-th history entry — and qualifying nodes are ordered by majority
+    vote over the servers witnessing both: correct servers report their
+    adoption order truthfully, and any [2f+1]-strong node has a
+    majority of correct witnesses.  Label [≺] and weight act only as
+    tie-breaks. *)
+
+type witness = { server : int; value : int; ts : Mw_ts.t; rank : int }
+(** One server vouching for one ⟨value, timestamp⟩ pair; [rank] is the
+    pair's position in that server's report (0 = current value, larger
+    = older). *)
+
+type node = { value : int; ts : Mw_ts.t; weight : int }
+
+type t
+
+val build : witness list -> t
+(** Local WTsG over current replies (all ranks 0), or union WTsG when
+    the witness list also includes each server's [old_vals] history. *)
+
+val nodes : t -> node list
+(** All nodes, heaviest first (deterministic order). *)
+
+val edges : t -> (node * node) list
+(** Precedence edges [(a, b)] with [a.ts ≺ b.ts]. O(V²); intended for
+    diagnostics and tests, not the read fast path. *)
+
+val node_count : t -> int
+
+val newer : t -> node -> node -> bool
+(** [newer t a b]: the witnesses shared by both nodes place [a] more
+    recently than [b] by strict majority. *)
+
+val best : t -> min_weight:int -> node option
+(** The node the read decision rule returns: among nodes of weight at
+    least [min_weight], one that no other qualifying node beats on the
+    recency vote, preferring [≺]-maximal then heaviest for ties.
+    [None] when no node reaches the threshold — the signal that servers
+    are in a transitory phase. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  master_rng : Rng.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+exception Budget_exhausted
+
+let create ?(trace = false) ?(trace_capacity = 4096) ~seed () =
+  {
+    clock = 0;
+    seq = 0;
+    heap = Heap.create ();
+    master_rng = Rng.create seed;
+    metrics = Metrics.create ();
+    trace = Trace.create ~capacity:trace_capacity ~enabled:trace ();
+  }
+
+let now t = t.clock
+
+let rng t = t.master_rng
+
+let metrics t = t.metrics
+
+let trace t = t.trace
+
+let push t ~time f =
+  Heap.push t.heap ~time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f = push t ~time:(t.clock + max 1 delay) f
+
+let schedule_now t f = push t ~time:t.clock f
+
+let pending t = Heap.size t.heap
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, _, f) ->
+      if time > t.clock then t.clock <- time;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match until, Heap.peek_time t.heap with
+    | Some u, Some next when next > u -> continue := false
+    | _, None -> continue := false
+    | _ -> ());
+    if !continue then begin
+      (match max_events with
+      | Some m when !fired >= m -> raise Budget_exhausted
+      | _ -> ());
+      ignore (step t);
+      incr fired
+    end
+  done

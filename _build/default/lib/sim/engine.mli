@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock, an event heap of thunks, a master
+    PRNG and the run-wide metrics/trace sinks.  Everything above it —
+    channels, protocol automata, fault injectors — is expressed as
+    thunks scheduled at future virtual times.  The clock only advances
+    when the heap is popped, and ties are broken by insertion order, so
+    a run is a pure function of [(seed, scheduled work)]. *)
+
+type t
+
+val create : ?trace:bool -> ?trace_capacity:int -> seed:int64 -> unit -> t
+(** Fresh engine at virtual time 0. *)
+
+val now : t -> int
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's master PRNG. Subsystems should {!Rng.split} it once at
+    construction rather than drawing from it during the run. *)
+
+val metrics : t -> Metrics.t
+
+val trace : t -> Trace.t
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t + max 1 delay].
+    Events never fire at the current instant: a positive delay is
+    enforced so causality is strict. *)
+
+val schedule_now : t -> (unit -> unit) -> unit
+(** Run [f] at the current time, after all work already queued for this
+    instant. Used for local (zero-latency) steps such as a client
+    processing a completed quorum. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** Execute the next event. Returns [false] if the heap was empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the heap. Stops early once the clock passes [until] or after
+    [max_events] events. Raises [Stalled] never — an empty heap just
+    returns. *)
+
+exception Budget_exhausted
+(** Raised by {!run} when [max_events] fired with work still pending —
+    the usual sign of a livelocked protocol in a test. *)

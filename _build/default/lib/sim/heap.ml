@@ -1,0 +1,71 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap e in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  grow t e;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    lt t.data.(!i) t.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(p);
+    t.data.(p) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && lt t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && lt t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (min.time, min.seq, min.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let clear t = t.len <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [(time, seq)] pairs.
+
+    The event queue of the discrete-event engine.  Ties on [time] are
+    broken by the monotonically increasing sequence number [seq], which
+    makes event ordering total and the whole simulation deterministic. *)
+
+type 'a t
+(** Heap holding payloads of type ['a]. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert a payload with the given key. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum [(time, seq, payload)], if any. *)
+
+val peek_time : 'a t -> int option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,55 @@
+type series = { mutable buf : float array; mutable len : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  observations : (string, series) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; observations = Hashtbl.create 8 }
+
+let slot t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = incr (slot t name)
+
+let add t name v =
+  let r = slot t name in
+  r := !r + v
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let series_slot t name =
+  match Hashtbl.find_opt t.observations name with
+  | Some s -> s
+  | None ->
+      let s = { buf = Array.make 16 0.0; len = 0 } in
+      Hashtbl.add t.observations name s;
+      s
+
+let observe t name v =
+  let s = series_slot t name in
+  if s.len = Array.length s.buf then begin
+    let nb = Array.make (2 * s.len) 0.0 in
+    Array.blit s.buf 0 nb 0 s.len;
+    s.buf <- nb
+  end;
+  s.buf.(s.len) <- v;
+  s.len <- s.len + 1
+
+let series t name =
+  match Hashtbl.find_opt t.observations name with
+  | Some s -> Array.sub s.buf 0 s.len
+  | None -> [||]
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.observations

@@ -1,0 +1,29 @@
+(** Named monotone counters and value series for a simulation run.
+
+    Cheap enough to leave enabled everywhere: counters are hashtable
+    slots, series are growable float buffers.  Experiments read them
+    back at the end of a run to build tables. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr t name] bumps counter [name] by one (creating it at 0). *)
+
+val add : t -> string -> int -> unit
+(** [add t name v] bumps counter [name] by [v]. *)
+
+val get : t -> string -> int
+(** Current value of a counter, 0 if never touched. *)
+
+val observe : t -> string -> float -> unit
+(** [observe t name v] appends [v] to the series [name]. *)
+
+val series : t -> string -> float array
+(** All observations of a series, in insertion order. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit

@@ -1,0 +1,34 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  ring : (int * string) array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  { enabled; capacity; ring = Array.make (max 1 capacity) (0, ""); next = 0; count = 0 }
+
+let enabled t = t.enabled
+
+let log t ~time msg =
+  if t.enabled then begin
+    t.ring.(t.next) <- (time, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let logf t ~time fmt =
+  if t.enabled then Format.kasprintf (fun s -> log t ~time s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+
+let entries t =
+  let out = ref [] in
+  for i = 0 to t.count - 1 do
+    let idx = (t.next - t.count + i + (2 * t.capacity)) mod t.capacity in
+    out := t.ring.(idx) :: !out
+  done;
+  List.rev !out
+
+let dump t fmt =
+  List.iter (fun (time, msg) -> Format.fprintf fmt "[%d] %s@." time msg) (entries t)

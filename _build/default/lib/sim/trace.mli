@@ -1,0 +1,26 @@
+(** Bounded in-memory event trace.
+
+    When enabled, protocol layers log one line per interesting event
+    (message delivery, state transition, fault injection).  The buffer
+    is a ring: only the most recent [capacity] entries are retained, so
+    tracing long runs stays O(capacity).  Disabled traces cost one
+    branch per call. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] defaults to 4096 entries. *)
+
+val enabled : t -> bool
+
+val log : t -> time:int -> string -> unit
+(** Record an entry (no-op when disabled). Use [logf] for formatting. *)
+
+val logf : t -> time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only built when tracing is on. *)
+
+val entries : t -> (int * string) list
+(** Retained entries, oldest first. *)
+
+val dump : t -> Format.formatter -> unit
+(** Print all retained entries, one per line, as ["[%d] %s"]. *)

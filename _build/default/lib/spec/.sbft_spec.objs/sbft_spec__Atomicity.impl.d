@@ -1,0 +1,1 @@
+lib/spec/atomicity.ml: Array Format Hashtbl History List Printf

@@ -1,0 +1,1 @@
+lib/spec/atomicity.mli: Format History

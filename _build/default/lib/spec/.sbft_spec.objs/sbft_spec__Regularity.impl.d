@@ -1,0 +1,1 @@
+lib/spec/regularity.ml: Format Hashtbl History List Option Printf

@@ -1,0 +1,1 @@
+lib/spec/regularity.mli: Format History

@@ -1,0 +1,1 @@
+lib/spec/safety.ml: Format History List Printf

@@ -1,0 +1,1 @@
+lib/spec/safety.mli: Format History

@@ -1,0 +1,77 @@
+type read_outcome = Value of int | Abort | Incomplete
+
+type 'ts op =
+  | Write of {
+      id : int;
+      client : int;
+      value : int;
+      inv : int;
+      resp : int option;
+      ts : 'ts option;
+    }
+  | Read of { id : int; client : int; inv : int; resp : int option; outcome : read_outcome }
+
+type 'ts t = { mutable rev_ops : 'ts op list; mutable next_id : int }
+
+let create () = { rev_ops = []; next_id = 0 }
+
+let fresh t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let begin_write t ~client ~value ~time =
+  let id = fresh t in
+  t.rev_ops <- Write { id; client; value; inv = time; resp = None; ts = None } :: t.rev_ops;
+  id
+
+let update t f =
+  t.rev_ops <- List.map (fun op -> match f op with Some op' -> op' | None -> op) t.rev_ops
+
+let end_write t ~id ~time ~ts =
+  update t (function
+    | Write w when w.id = id -> Some (Write { w with resp = Some time; ts })
+    | _ -> None)
+
+let begin_read t ~client ~time =
+  let id = fresh t in
+  t.rev_ops <- Read { id; client; inv = time; resp = None; outcome = Incomplete } :: t.rev_ops;
+  id
+
+let end_read t ~id ~time ~outcome =
+  update t (function
+    | Read r when r.id = id -> Some (Read { r with resp = Some time; outcome })
+    | _ -> None)
+
+let ops t = List.rev t.rev_ops
+
+let writes t = List.filter (function Write _ -> true | Read _ -> false) (ops t)
+
+let reads t = List.filter (function Read _ -> true | Write _ -> false) (ops t)
+
+let size t = List.length t.rev_ops
+
+let completed_reads t =
+  List.length
+    (List.filter (function Read { outcome = Value _; _ } -> true | _ -> false) (ops t))
+
+let aborted_reads t =
+  List.length (List.filter (function Read { outcome = Abort; _ } -> true | _ -> false) (ops t))
+
+let pp pp_ts fmt t =
+  let pp_resp fmt = function Some r -> Format.pp_print_int fmt r | None -> Format.pp_print_char fmt '?' in
+  List.iter
+    (function
+      | Write w ->
+          Format.fprintf fmt "[%d,%a] c%d write(%d)%a@\n" w.inv pp_resp w.resp w.client w.value
+            (fun fmt -> function Some ts -> Format.fprintf fmt " ts=%a" pp_ts ts | None -> ())
+            w.ts
+      | Read r ->
+          let outcome =
+            match r.outcome with
+            | Value v -> string_of_int v
+            | Abort -> "abort"
+            | Incomplete -> "incomplete"
+          in
+          Format.fprintf fmt "[%d,%a] c%d read() = %s@\n" r.inv pp_resp r.resp r.client outcome)
+    (ops t)

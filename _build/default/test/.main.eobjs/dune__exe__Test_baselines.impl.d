@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Option Sbft_baselines Sbft_harness Sbft_labels Sbft_spec

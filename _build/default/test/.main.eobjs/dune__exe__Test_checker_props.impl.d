@@ -1,0 +1,1 @@
+test/test_checker_props.ml: Int64 List QCheck QCheck_alcotest Sbft_sim Sbft_spec

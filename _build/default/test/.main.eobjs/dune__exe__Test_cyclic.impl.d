@@ -1,0 +1,1 @@
+test/test_cyclic.ml: Alcotest Cyclic List Sbft_labels Sbft_sim Sbls

@@ -1,0 +1,1 @@
+test/test_datalink.ml: Alcotest Datalink Engine Int List Printf Rng Sbft_channel Sbft_sim

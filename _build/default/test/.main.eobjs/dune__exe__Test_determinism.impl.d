@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Format Int64 List Mw_ts QCheck QCheck_alcotest Sbft_channel Sbft_core Sbft_harness Sbft_labels Sbft_sim Sbft_spec Sbls Wtsg

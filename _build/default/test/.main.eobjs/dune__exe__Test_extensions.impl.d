@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Config Explorer List Sbft_byz Sbft_core Sbft_harness Sbft_labels Sbft_sim Sbft_spec Server Swmr System

@@ -1,0 +1,1 @@
+test/test_f2.ml: Alcotest Client Config List Sbft_byz Sbft_core Sbft_harness Sbft_spec String System

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Config Format Hashtbl Int Int64 Invariants List Sbft_byz Sbft_channel Sbft_core Sbft_sim Sbft_spec Server System

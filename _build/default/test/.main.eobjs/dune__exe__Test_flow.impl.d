@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Config List Msg Printf Sbft_channel Sbft_core Sbft_harness String System

@@ -1,0 +1,1 @@
+test/test_full_stack.ml: Alcotest Config Int64 List Option Printf QCheck QCheck_alcotest Sbft_byz Sbft_channel Sbft_core Sbft_harness Sbft_spec System

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Experiments Format Int List Register Sbft_core Sbft_harness Sbft_spec Stats String Table Workload

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Int List Printf Sbft_byz Sbft_kv Sbft_sim Sbft_spec Store

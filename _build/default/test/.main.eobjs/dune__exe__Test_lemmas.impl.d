@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Client Config Format Invariants List Printf Sbft_byz Sbft_channel Sbft_core Sbft_labels Sbft_sim Sbft_spec System

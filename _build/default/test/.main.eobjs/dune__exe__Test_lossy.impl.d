@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Engine Int Int64 List Lossy Sbft_channel Sbft_sim

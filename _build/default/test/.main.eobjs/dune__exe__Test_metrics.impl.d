@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array List Metrics Sbft_sim Trace

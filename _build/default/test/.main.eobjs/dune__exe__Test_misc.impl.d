@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Config Format Hashtbl List Msg Option Sbft_channel Sbft_core Sbft_harness Sbft_labels Sbft_sim Sbft_spec String Swmr System

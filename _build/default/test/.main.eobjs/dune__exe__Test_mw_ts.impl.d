@@ -1,0 +1,1 @@
+test/test_mw_ts.ml: Alcotest List Mw_ts Sbft_labels Sbft_sim Sbls Unbounded

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Delay Engine Fun Int64 List Metrics Network QCheck QCheck_alcotest Sbft_channel Sbft_sim

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Config List Option Printf Sbft_byz Sbft_channel Sbft_core Sbft_harness Sbft_sim Sbft_spec System

@@ -1,0 +1,1 @@
+test/test_read_labels.ml: Alcotest Int64 List QCheck QCheck_alcotest Read_labels Sbft_labels Sbft_sim

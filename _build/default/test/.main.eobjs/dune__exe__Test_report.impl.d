@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Report Sbft_harness String Sys Table

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Int Int64 List QCheck QCheck_alcotest Rng Sbft_sim

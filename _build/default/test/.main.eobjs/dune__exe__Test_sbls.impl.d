@@ -1,0 +1,1 @@
+test/test_sbls.ml: Alcotest Int64 List QCheck QCheck_alcotest Sbft_labels Sbft_sim Sbls

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Config List Msg Sbft_channel Sbft_core Sbft_labels Sbft_sim Server

@@ -1,0 +1,1 @@
+test/test_stabilization.ml: Alcotest Client Config Int64 List Option QCheck QCheck_alcotest Sbft_byz Sbft_core Sbft_harness Sbft_sim Sbft_spec String System

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Client Config Format List Option Printf Sbft_channel Sbft_core Sbft_harness Sbft_labels Sbft_spec System

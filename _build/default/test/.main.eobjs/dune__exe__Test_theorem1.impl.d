@@ -1,0 +1,1 @@
+test/test_theorem1.ml: Alcotest List Printf Sbft_byz

@@ -1,0 +1,1 @@
+test/test_wtsg.ml: Alcotest Int List Mw_ts QCheck QCheck_alcotest Sbft_labels Sbls Wtsg

@@ -1,0 +1,80 @@
+(* Tests for the non-stabilizing cyclic timestamp straw man (§IV-A):
+   fine in clean executions, stuck from corrupted configurations —
+   exactly the failure k-SBLS is built to avoid. *)
+
+open Sbft_labels
+
+let sys = Cyclic.system ~m:16
+
+let test_clean_chain () =
+  let l = ref Cyclic.initial in
+  for _ = 1 to 200 do
+    let n = Cyclic.next sys [ !l ] in
+    if not (Cyclic.prec sys !l n) then Alcotest.fail "clean successor must dominate";
+    l := n
+  done
+
+let test_window_order () =
+  let t x = Cyclic.of_int sys x in
+  Alcotest.(check bool) "0 < 1" true (Cyclic.prec sys (t 0) (t 1));
+  Alcotest.(check bool) "0 < 7" true (Cyclic.prec sys (t 0) (t 7));
+  Alcotest.(check bool) "0 vs 8: antipode incomparable" false (Cyclic.prec sys (t 0) (t 8));
+  Alcotest.(check bool) "wrap: 15 < 2" true (Cyclic.prec sys (t 15) (t 2));
+  Alcotest.(check bool) "irreflexive" false (Cyclic.prec sys (t 3) (t 3))
+
+let test_antisymmetric () =
+  let rng = Sbft_sim.Rng.create 1L in
+  for _ = 1 to 500 do
+    let a = Cyclic.random sys rng and b = Cyclic.random sys rng in
+    if Cyclic.prec sys a b && Cyclic.prec sys b a then Alcotest.fail "antisymmetry broken"
+  done
+
+let test_clean_windows_never_stuck () =
+  (* Labels produced by normal operation stay within a half-window and
+     always admit a dominating successor. *)
+  let t x = Cyclic.of_int sys x in
+  for base = 0 to 15 do
+    let live = [ t base; t (base + 1); t (base + 2); t (base + 3) ] in
+    if Cyclic.stuck sys live then Alcotest.failf "clean window at %d must not be stuck" base
+  done
+
+let test_corrupted_configuration_stuck () =
+  (* Labels spread across both half-windows: no candidate dominates. *)
+  let t x = Cyclic.of_int sys x in
+  Alcotest.(check bool) "antipodal pair is stuck" true (Cyclic.stuck sys [ t 0; t 8 ]);
+  Alcotest.(check bool) "spread triple is stuck" true (Cyclic.stuck sys [ t 0; t 5; t 11 ])
+
+let test_stuck_rate_vs_sbls () =
+  let rng = Sbft_sim.Rng.create 2L in
+  let cyclic_stuck = ref 0 and trials = 500 in
+  for _ = 1 to trials do
+    let inputs = List.init 5 (fun _ -> Cyclic.random sys rng) in
+    if Cyclic.stuck sys inputs then incr cyclic_stuck
+  done;
+  Alcotest.(check bool) "cyclic frequently stuck from corruption" true (!cyclic_stuck > trials / 2);
+  (* And the stabilizing scheme never is, by Definition 2. *)
+  let ssys = Sbls.system ~k:5 in
+  for _ = 1 to trials do
+    let inputs = List.init 5 (fun _ -> Sbls.random ssys rng) in
+    let n = Sbls.next ssys inputs in
+    if not (List.for_all (fun l -> Sbls.prec l n) inputs) then
+      Alcotest.fail "k-SBLS must always dominate"
+  done
+
+let test_of_int_wraps () =
+  Alcotest.(check bool) "negative wraps" true (Cyclic.of_int sys (-1) = Cyclic.of_int sys 15);
+  Alcotest.(check bool) "overflow wraps" true (Cyclic.of_int sys 16 = Cyclic.of_int sys 0)
+
+let test_size_bits () = Alcotest.(check int) "4 bits for m=16" 4 (Cyclic.size_bits sys)
+
+let suite =
+  [
+    Alcotest.test_case "clean chain dominates" `Quick test_clean_chain;
+    Alcotest.test_case "window order" `Quick test_window_order;
+    Alcotest.test_case "antisymmetric" `Quick test_antisymmetric;
+    Alcotest.test_case "clean windows never stuck" `Quick test_clean_windows_never_stuck;
+    Alcotest.test_case "corrupted configurations stuck" `Quick test_corrupted_configuration_stuck;
+    Alcotest.test_case "stuck rate vs k-SBLS" `Quick test_stuck_rate_vs_sbls;
+    Alcotest.test_case "of_int wraps" `Quick test_of_int_wraps;
+    Alcotest.test_case "size bits" `Quick test_size_bits;
+  ]

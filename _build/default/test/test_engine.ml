@@ -1,0 +1,84 @@
+(* Tests for the discrete-event engine: clock, ordering, budgets. *)
+
+open Sbft_sim
+
+let test_clock_advances () =
+  let e = Engine.create ~seed:1L () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:10 (fun () -> seen := ("b", Engine.now e) :: !seen);
+  Engine.schedule e ~delay:5 (fun () -> seen := ("a", Engine.now e) :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (pair string int))) "order and times" [ ("a", 5); ("b", 10) ] (List.rev !seen)
+
+let test_min_delay_enforced () =
+  let e = Engine.create ~seed:1L () in
+  let fired_at = ref (-1) in
+  Engine.schedule e ~delay:0 (fun () -> fired_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "delay 0 becomes 1" 1 !fired_at
+
+let test_schedule_now_runs_this_instant () =
+  let e = Engine.create ~seed:1L () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:3 (fun () ->
+      seen := "outer" :: !seen;
+      Engine.schedule_now e (fun () -> seen := ("inner@" ^ string_of_int (Engine.now e)) :: !seen));
+  Engine.run e;
+  Alcotest.(check (list string)) "inner runs at same time" [ "outer"; "inner@3" ] (List.rev !seen)
+
+let test_fifo_same_instant () =
+  let e = Engine.create ~seed:1L () in
+  let seen = ref [] in
+  for i = 0 to 4 do
+    Engine.schedule e ~delay:2 (fun () -> seen := i :: !seen)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order" [ 0; 1; 2; 3; 4 ] (List.rev !seen)
+
+let test_until_stops_early () =
+  let e = Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:5 (fun () -> incr fired);
+  Engine.schedule e ~delay:50 (fun () -> incr fired);
+  Engine.run ~until:10 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "second still pending" 1 (Engine.pending e)
+
+let test_budget_exhausted () =
+  let e = Engine.create ~seed:1L () in
+  let rec spin () = Engine.schedule e ~delay:1 spin in
+  spin ();
+  Alcotest.check_raises "budget" Engine.Budget_exhausted (fun () -> Engine.run ~max_events:100 e)
+
+let test_cascading_events () =
+  let e = Engine.create ~seed:1L () in
+  let count = ref 0 in
+  let rec chain n = if n > 0 then Engine.schedule e ~delay:1 (fun () -> incr count; chain (n - 1)) in
+  chain 1000;
+  Engine.run e;
+  Alcotest.(check int) "all chained events ran" 1000 !count;
+  Alcotest.(check int) "clock tracked" 1000 (Engine.now e)
+
+let test_step () =
+  let e = Engine.create ~seed:1L () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Engine.schedule e ~delay:1 (fun () -> ());
+  Alcotest.(check bool) "step fires" true (Engine.step e)
+
+let test_metrics_attached () =
+  let e = Engine.create ~seed:1L () in
+  Metrics.incr (Engine.metrics e) "x";
+  Alcotest.(check int) "metrics live" 1 (Metrics.get (Engine.metrics e) "x")
+
+let suite =
+  [
+    Alcotest.test_case "clock advances to event times" `Quick test_clock_advances;
+    Alcotest.test_case "minimum delay of 1" `Quick test_min_delay_enforced;
+    Alcotest.test_case "schedule_now same instant" `Quick test_schedule_now_runs_this_instant;
+    Alcotest.test_case "FIFO within an instant" `Quick test_fifo_same_instant;
+    Alcotest.test_case "run ~until stops early" `Quick test_until_stops_early;
+    Alcotest.test_case "budget exhaustion raises" `Quick test_budget_exhausted;
+    Alcotest.test_case "cascading events" `Quick test_cascading_events;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "metrics attached" `Quick test_metrics_attached;
+  ]

@@ -1,0 +1,165 @@
+(* Tests for the runtime invariant monitor and declarative fault plans. *)
+
+open Sbft_core
+module FP = Sbft_byz.Fault_plan
+module H = Sbft_spec.History
+
+let make ?(seed = 1L) ?(clients = 3) () =
+  let sys = System.create ~seed (Config.make ~n:6 ~f:1 ~clients ()) in
+  (sys, Invariants.create sys)
+
+let test_monitor_clean_run () =
+  let sys, mon = make () in
+  Invariants.write mon ~client:6 ~value:1
+    ~k:(fun () -> Invariants.read mon ~client:7 ())
+    ();
+  System.quiesce sys;
+  let r = Invariants.check mon in
+  Alcotest.(check int) "one write checked" 1 r.writes_checked;
+  Alcotest.(check int) "one read checked" 1 r.reads_checked;
+  Alcotest.(check bool) "coverage at least the bound" true (r.min_coverage >= 4);
+  Alcotest.(check int) "no failures" 0 r.coverage_failures;
+  Alcotest.(check bool) "report ok" true (Invariants.ok r)
+
+let test_monitor_flags_post_stab_abort () =
+  (* Sanity of the monitor itself: an artificial protocol break (all
+     servers silenced after stabilization) must surface as a flagged
+     anomaly, not silence. *)
+  let sys, mon = make () in
+  Invariants.write mon ~client:6 ~value:5 () ;
+  System.quiesce sys;
+  (* Silence every server: the next read can never terminate, which the
+     harness surfaces as an incomplete op (not an abort) — so instead
+     corrupt heavily WITHOUT notifying the monitor and force an abort. *)
+  List.iter (fun id -> System.corrupt_server sys id ~severity:`Heavy) [ 0; 1; 2; 3; 4; 5 ];
+  System.corrupt_channels sys ~density:0.5;
+  let aborted = ref false in
+  Invariants.read mon ~client:7 ~k:(fun o -> aborted := o = H.Abort) ();
+  System.quiesce sys;
+  if !aborted then begin
+    let r = Invariants.report mon in
+    Alcotest.(check int) "unreported corruption shows up as post-stab abort" 1 r.post_stab_aborts;
+    Alcotest.(check bool) "not ok" false (Invariants.ok r)
+  end
+  (* If the read happened to succeed despite the corruption, nothing to
+     assert — the protocol out-performed the fault. *)
+
+let test_monitor_notify_resets () =
+  let sys, mon = make () in
+  Invariants.write mon ~client:6 ~value:5 ();
+  System.quiesce sys;
+  List.iter (fun id -> System.corrupt_server sys id ~severity:`Heavy) [ 0; 1; 2; 3; 4; 5 ];
+  Invariants.notify_corruption mon;
+  (* Now an abort is tolerated (pre-stabilization again). *)
+  Invariants.read mon ~client:7 ();
+  System.quiesce sys;
+  let r = Invariants.report mon in
+  Alcotest.(check int) "no post-stab aborts after notify" 0 r.post_stab_aborts;
+  (* The next write restarts the clock. *)
+  Invariants.write mon ~client:6 ~value:6 ();
+  System.quiesce sys;
+  Invariants.read mon ~client:7 ();
+  System.quiesce sys;
+  let r = Invariants.check mon in
+  Alcotest.(check bool) "recovered and ok" true (Invariants.ok r)
+
+let test_plan_schedules_in_order () =
+  let sys, _ = make () in
+  let plan =
+    [ (50, FP.Slow_node (0, 5)); (10, FP.Corrupt_server (1, `Light)); (30, FP.Crash 7) ]
+  in
+  FP.apply sys plan;
+  System.quiesce sys;
+  Alcotest.(check bool) "crash applied" true (Sbft_channel.Network.crashed (System.network sys) 7)
+
+let test_plan_immediate_events () =
+  let sys, _ = make () in
+  FP.apply sys [ (0, FP.Crash 8) ];
+  Alcotest.(check bool) "time-zero event fires immediately" true
+    (Sbft_channel.Network.crashed (System.network sys) 8)
+
+let test_heal_restores_correct_behaviour () =
+  let sys, _ = make () in
+  (* Take over server 0, then heal it; afterwards it must answer
+     GET_TS again (the silent strategy never does). *)
+  FP.apply sys [ (1, FP.Byzantine (0, Sbft_byz.Strategies.silent)); (100, FP.Heal 0) ];
+  let got = ref H.Incomplete in
+  Sbft_sim.Engine.schedule (System.engine sys) ~delay:200 (fun () ->
+      System.write sys ~client:6 ~value:9
+        ~k:(fun () -> System.read sys ~client:7 ~k:(fun o -> got := o) ())
+        ());
+  System.quiesce sys;
+  Alcotest.(check bool) "system fine after heal" true (!got = H.Value 9);
+  (* The healed server eventually adopts current state via new writes. *)
+  Alcotest.(check int) "healed server adopted the write" 9 (Server.value (System.server sys 0))
+
+let test_storm_respects_f () =
+  (* At no instant does the storm leave more than f servers Byzantine. *)
+  let plan = FP.storm ~seed:9L ~n:6 ~f:1 ~clients:3 ~waves:8 ~every:100 in
+  let events = List.sort (fun (a, _) (b, _) -> Int.compare a b) plan in
+  let byz = Hashtbl.create 4 in
+  List.iter
+    (fun (_, e) ->
+      match e with
+      | FP.Byzantine (id, _) ->
+          Hashtbl.replace byz id ();
+          if Hashtbl.length byz > 1 then Alcotest.fail "more than f simultaneous Byzantine servers"
+      | FP.Heal id -> Hashtbl.remove byz id
+      | _ -> ())
+    events
+
+let test_storm_ends_healed () =
+  let plan = FP.storm ~seed:10L ~n:6 ~f:1 ~clients:3 ~waves:5 ~every:100 in
+  let byz = Hashtbl.create 4 in
+  List.iter
+    (fun (_, e) ->
+      match e with
+      | FP.Byzantine (id, _) -> Hashtbl.replace byz id ()
+      | FP.Heal id -> Hashtbl.remove byz id
+      | _ -> ())
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) plan);
+  Alcotest.(check int) "every takeover eventually healed" 0 (Hashtbl.length byz)
+
+let test_storm_survivable () =
+  (* End-to-end: a monitored workload under a dense storm stays ok. *)
+  List.iter
+    (fun seed ->
+      let sys, mon = make ~seed () in
+      FP.apply ~monitor:mon sys (FP.storm ~seed ~n:6 ~f:1 ~clients:3 ~waves:6 ~every:200);
+      let rng = Sbft_sim.Rng.create seed in
+      let v = ref 0 in
+      let rec loop c remaining =
+        if remaining > 0 then begin
+          let continue () =
+            Sbft_sim.Engine.schedule (System.engine sys) ~delay:(Sbft_sim.Rng.int_in rng 5 25)
+              (fun () -> loop c (remaining - 1))
+          in
+          if Sbft_sim.Rng.chance rng 0.4 then begin
+            incr v;
+            Invariants.write mon ~client:c ~value:((Int64.to_int seed * 1000) + !v) ~k:continue ()
+          end
+          else Invariants.read mon ~client:c ~k:(fun _ -> continue ()) ()
+        end
+      in
+      for c = 6 to 8 do
+        loop c 25
+      done;
+      System.quiesce sys;
+      let r = Invariants.check mon in
+      if not (Invariants.ok r) then
+        Alcotest.failf "storm broke the register (seed %Ld): %s" seed
+          (Format.asprintf "%a" Invariants.pp_report r))
+    [ 21L; 22L; 23L ]
+
+let suite =
+  [
+    Alcotest.test_case "monitor: clean run" `Quick test_monitor_clean_run;
+    Alcotest.test_case "monitor: flags unreported corruption" `Quick test_monitor_flags_post_stab_abort;
+    Alcotest.test_case "monitor: notify resets the clock" `Quick test_monitor_notify_resets;
+    Alcotest.test_case "plan: schedules events" `Quick test_plan_schedules_in_order;
+    Alcotest.test_case "plan: immediate events" `Quick test_plan_immediate_events;
+    Alcotest.test_case "plan: heal restores behaviour" `Quick test_heal_restores_correct_behaviour;
+    Alcotest.test_case "storm: respects f" `Quick test_storm_respects_f;
+    Alcotest.test_case "storm: ends healed" `Quick test_storm_ends_healed;
+    Alcotest.test_case "storm: survivable end-to-end" `Quick test_storm_survivable;
+  ]

@@ -1,0 +1,141 @@
+(* Integration tests: the register over the full channel stack
+   (stabilizing data-links over bounded lossy non-FIFO channels), plus
+   the Lemma 5 FLUSH-fence property and a sequential reference check. *)
+
+open Sbft_core
+module H = Sbft_spec.History
+module Network = Sbft_channel.Network
+
+let dl ?(loss = 0.2) () = Network.Over_datalink { capacity = 4; loss; max_delay = 4 }
+
+let test_round_trip_over_datalink () =
+  let sys = System.create ~seed:3L ~transport:(dl ()) (Config.make ~n:6 ~f:1 ~clients:2 ()) in
+  let got = ref H.Incomplete in
+  System.write sys ~client:6 ~value:42
+    ~k:(fun () -> System.read sys ~client:7 ~k:(fun o -> got := o) ())
+    ();
+  System.quiesce sys;
+  Alcotest.(check bool) "round trip over the stack" true (!got = H.Value 42)
+
+let test_workload_over_datalink_regular () =
+  List.iter
+    (fun seed ->
+      let sys = System.create ~seed ~transport:(dl ()) (Config.make ~n:6 ~f:1 ~clients:3 ()) in
+      let reg = Sbft_harness.Register.core sys in
+      let o =
+        Sbft_harness.Workload.run ~spec:{ Sbft_harness.Workload.default with ops_per_client = 8 } reg
+      in
+      Alcotest.(check bool) "live over lossy stack" false o.livelocked;
+      let after = Option.value ~default:max_int (reg.first_write_completion ()) in
+      let c = reg.check_regular ~after () in
+      Alcotest.(check int) (Printf.sprintf "regular over the stack (seed %Ld)" seed) 0 c.violations)
+    [ 31L; 32L ]
+
+let test_datalink_with_byzantine () =
+  let sys = System.create ~seed:33L ~transport:(dl ~loss:0.1 ()) (Config.make ~n:6 ~f:1 ~clients:3 ()) in
+  ignore (Sbft_byz.Strategy.install_all sys Sbft_byz.Strategies.stale_replay);
+  let reg = Sbft_harness.Register.core sys in
+  let o = Sbft_harness.Workload.run ~spec:{ Sbft_harness.Workload.default with ops_per_client = 6 } reg in
+  Alcotest.(check bool) "live" false o.livelocked;
+  let after = Option.value ~default:max_int (reg.first_write_completion ()) in
+  Alcotest.(check int) "regular: byzantine + lossy stack" 0 (reg.check_regular ~after ()).violations
+
+(* Lemma 5: the FLUSH fence.  With a pool of only 2 labels and one
+   server whose replies crawl, a reader quickly reuses labels; stale
+   REPLYs from an earlier read must never satisfy a later one.  The
+   observable consequence: every read still returns the CURRENT value
+   even though a years-old REPLY carrying the same label is in flight
+   toward the client. *)
+let test_flush_fence_label_reuse () =
+  let cfg = Config.make ~read_label_pool:2 ~n:6 ~f:1 ~clients:2 () in
+  let sys = System.create ~seed:44L cfg in
+  let net = System.network sys in
+  (* Server 0's channel to the reader crawls: its replies to read k
+     arrive during read k+2 (which reuses the same label). *)
+  Network.set_slow net ~src:0 ~dst:7 ~factor:40;
+  let results = ref [] in
+  let rec cycle i =
+    if i < 8 then
+      System.write sys ~client:6 ~value:(900 + i)
+        ~k:(fun () ->
+          System.read sys ~client:7
+            ~k:(fun o ->
+              results := (i, o) :: !results;
+              cycle (i + 1))
+            ())
+        ()
+  in
+  cycle 0;
+  System.quiesce sys;
+  Alcotest.(check int) "all reads completed" 8 (List.length !results);
+  List.iter
+    (fun (i, o) ->
+      match o with
+      | H.Value v ->
+          if v <> 900 + i then
+            Alcotest.failf "read %d returned %d, not the just-written %d (stale reply leaked)" i v
+              (900 + i)
+      | H.Abort -> Alcotest.failf "read %d aborted" i
+      | H.Incomplete -> Alcotest.failf "read %d incomplete" i)
+    !results
+
+(* Sequential reference: one client, alternating writes and reads, any
+   seed — every read returns exactly the preceding write.  This is the
+   register reduced to its sequential spec. *)
+let qcheck_sequential_reference =
+  QCheck.Test.make ~name:"system: sequential client matches the sequential spec" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 2 8))
+    (fun (seed, rounds) ->
+      let sys =
+        System.create ~seed:(Int64.of_int seed) (Config.make ~n:6 ~f:1 ~clients:1 ())
+      in
+      let ok = ref true in
+      let rec round i =
+        if i < rounds then
+          System.write sys ~client:6 ~value:(3000 + i)
+            ~k:(fun () ->
+              System.read sys ~client:6
+                ~k:(fun o ->
+                  if o <> H.Value (3000 + i) then ok := false;
+                  round (i + 1))
+                ())
+            ()
+      in
+      round 0;
+      System.quiesce sys;
+      !ok)
+
+(* And the same reference over the lossy stack. *)
+let qcheck_sequential_over_datalink =
+  QCheck.Test.make ~name:"system: sequential spec holds over the datalink stack" ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sys =
+        System.create ~seed:(Int64.of_int seed) ~transport:(dl ~loss:0.15 ())
+          (Config.make ~n:6 ~f:1 ~clients:1 ())
+      in
+      let ok = ref true in
+      let rec round i =
+        if i < 3 then
+          System.write sys ~client:6 ~value:(4000 + i)
+            ~k:(fun () ->
+              System.read sys ~client:6
+                ~k:(fun o ->
+                  if o <> H.Value (4000 + i) then ok := false;
+                  round (i + 1))
+                ())
+            ()
+      in
+      round 0;
+      System.quiesce sys;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "round trip over datalink" `Quick test_round_trip_over_datalink;
+    Alcotest.test_case "workload over datalink regular" `Quick test_workload_over_datalink_regular;
+    Alcotest.test_case "datalink + byzantine" `Quick test_datalink_with_byzantine;
+    Alcotest.test_case "FLUSH fence vs label reuse (Lemma 5)" `Quick test_flush_fence_label_reuse;
+    QCheck_alcotest.to_alcotest qcheck_sequential_reference;
+    QCheck_alcotest.to_alcotest qcheck_sequential_over_datalink;
+  ]

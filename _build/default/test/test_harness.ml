@@ -1,0 +1,116 @@
+(* Tests for the experiment harness: stats, tables, workload, adapters. *)
+
+open Sbft_harness
+
+let test_stats_known_values () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.p50;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) s.stddev
+
+let test_stats_empty () =
+  let s = Stats.summarize [||] in
+  Alcotest.(check int) "count" 0 s.count;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.mean
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile xs 95.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_table_render_and_csv () =
+  let t =
+    Table.make ~id:"T" ~title:"demo" ~header:[ "a"; "b" ] ~notes:[ "n1" ]
+      [ [ "1"; "two" ]; [ "3"; "4" ] ]
+  in
+  let rendered = Format.asprintf "%a" Table.render t in
+  Alcotest.(check bool) "has title" true (String.length rendered > 0);
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv" "a,b\n1,two\n3,4\n" csv
+
+let test_csv_quoting () =
+  let t = Table.make ~id:"T" ~title:"q" ~header:[ "x" ] [ [ "a,b" ]; [ "say \"hi\"" ] ] in
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "quoted" "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n" csv
+
+let test_workload_unique_values () =
+  let sys = Sbft_core.System.create ~seed:8L (Sbft_core.Config.make ~n:6 ~f:1 ~clients:4 ()) in
+  let reg = Register.core sys in
+  let _ = Workload.run ~spec:{ Workload.default with ops_per_client = 15; write_ratio = 0.5 } reg in
+  let values =
+    List.filter_map
+      (function Sbft_spec.History.Write w -> Some w.value | _ -> None)
+      (Sbft_spec.History.ops (Sbft_core.System.history sys))
+  in
+  Alcotest.(check int) "all written values distinct" (List.length values)
+    (List.length (List.sort_uniq Int.compare values))
+
+let test_workload_counts () =
+  let sys = Sbft_core.System.create ~seed:9L (Sbft_core.Config.make ~n:6 ~f:1 ~clients:3 ()) in
+  let reg = Register.core sys in
+  let o = Workload.run ~spec:{ Workload.default with ops_per_client = 10 } reg in
+  Alcotest.(check int) "issued = quota" 30 (o.issued_writes + o.issued_reads);
+  Alcotest.(check bool) "not livelocked" false o.livelocked
+
+let test_workload_roles () =
+  (* Writers-only clients never read; readers-only never write. *)
+  let sys = Sbft_core.System.create ~seed:10L (Sbft_core.Config.make ~n:6 ~f:1 ~clients:2 ()) in
+  let reg = Register.core sys in
+  let o = Workload.run_mixed ~spec:{ Workload.default with ops_per_client = 8 } ~writers:[ 6 ] ~readers:[ 7 ] reg in
+  Alcotest.(check int) "8 writes from the writer" 8 o.issued_writes;
+  Alcotest.(check int) "8 reads from the reader" 8 o.issued_reads;
+  List.iter
+    (function
+      | Sbft_spec.History.Write w -> Alcotest.(check int) "writes by 6" 6 w.client
+      | Sbft_spec.History.Read r -> Alcotest.(check int) "reads by 7" 7 r.client)
+    (Sbft_spec.History.ops (Sbft_core.System.history sys))
+
+let test_adapter_metrics_coherent () =
+  let sys = Sbft_core.System.create ~seed:11L (Sbft_core.Config.make ~n:6 ~f:1 ~clients:2 ()) in
+  let reg = Register.core sys in
+  let _ = Workload.run ~spec:{ Workload.default with ops_per_client = 10 } reg in
+  let w, r = reg.op_latencies () in
+  Alcotest.(check int) "latencies match completions" (reg.completed_writes ()) (Array.length w);
+  Alcotest.(check int) "read latencies match" (reg.completed_reads ()) (Array.length r);
+  Alcotest.(check bool) "messages flowed" true (reg.messages_sent () > 0);
+  Alcotest.(check bool) "first write completion known" true (reg.first_write_completion () <> None)
+
+let test_experiment_registry () =
+  Alcotest.(check int) "nineteen experiments" 19 (List.length Experiments.ids);
+  Alcotest.(check bool) "lookup by id" true (Experiments.by_id "E4" <> None);
+  Alcotest.(check bool) "case-insensitive" true (Experiments.by_id "e4" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Experiments.by_id "e99" = None)
+
+let test_experiment_tables_well_formed () =
+  (* Run the two cheapest experiments end-to-end and sanity-check shape. *)
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | Some f ->
+          let t = f () in
+          Alcotest.(check bool) (id ^ " has rows") true (List.length t.rows > 0);
+          let cols = List.length t.header in
+          List.iter
+            (fun row -> Alcotest.(check int) (id ^ " row width") cols (List.length row))
+            t.rows
+      | None -> Alcotest.fail ("missing " ^ id))
+    [ "e1"; "e3" ]
+
+let suite =
+  [
+    Alcotest.test_case "stats known values" `Quick test_stats_known_values;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "table render + csv" `Quick test_table_render_and_csv;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "workload unique values" `Quick test_workload_unique_values;
+    Alcotest.test_case "workload counts" `Quick test_workload_counts;
+    Alcotest.test_case "workload roles" `Quick test_workload_roles;
+    Alcotest.test_case "adapter metrics coherent" `Quick test_adapter_metrics_coherent;
+    Alcotest.test_case "experiment registry" `Quick test_experiment_registry;
+    Alcotest.test_case "experiment tables well-formed" `Slow test_experiment_tables_well_formed;
+  ]

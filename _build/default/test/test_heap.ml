@@ -1,0 +1,83 @@
+(* Tests for the event heap: ordering, tie-breaking, growth. *)
+
+open Sbft_sim
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:5 ~seq:0 "e";
+  Heap.push h ~time:1 ~seq:1 "a";
+  Heap.push h ~time:3 ~seq:2 "c";
+  Heap.push h ~time:2 ~seq:3 "b";
+  Heap.push h ~time:4 ~seq:4 "d";
+  let order = List.init 5 (fun _ -> match Heap.pop h with Some (_, _, p) -> p | None -> "?") in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c"; "d"; "e" ] order
+
+let test_tie_break_by_seq () =
+  let h = Heap.create () in
+  Heap.push h ~time:7 ~seq:2 "second";
+  Heap.push h ~time:7 ~seq:1 "first";
+  Heap.push h ~time:7 ~seq:3 "third";
+  let order = List.init 3 (fun _ -> match Heap.pop h with Some (_, _, p) -> p | None -> "?") in
+  Alcotest.(check (list string)) "seq order on equal time" [ "first"; "second"; "third" ] order
+
+let test_peek_does_not_pop () =
+  let h = Heap.create () in
+  Heap.push h ~time:9 ~seq:0 ();
+  Alcotest.(check (option int)) "peek" (Some 9) (Heap.peek_time h);
+  Alcotest.(check int) "still there" 1 (Heap.size h)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:i ~seq:i ()
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_growth () =
+  let h = Heap.create () in
+  for i = 0 to 9999 do
+    Heap.push h ~time:(9999 - i) ~seq:i i
+  done;
+  Alcotest.(check int) "all inserted" 10_000 (Heap.size h);
+  let prev = ref (-1) in
+  let ok = ref true in
+  for _ = 0 to 9999 do
+    match Heap.pop h with
+    | Some (t, _, _) ->
+        if t < !prev then ok := false;
+        prev := t
+    | None -> ok := false
+  done;
+  Alcotest.(check bool) "monotone drain of 10k" true !ok
+
+let qcheck_sorted_drain =
+  QCheck.Test.make ~name:"heap: drain is sorted by (time, seq)" ~count:200
+    QCheck.(list (pair (int_bound 100) (int_bound 100)))
+    (fun pairs ->
+      let h = Heap.create () in
+      List.iteri (fun seq (t, payload) -> Heap.push h ~time:t ~seq payload) pairs;
+      let rec drain acc =
+        match Heap.pop h with Some (t, s, _) -> drain ((t, s) :: acc) | None -> List.rev acc
+      in
+      let keys = drain [] in
+      let sorted = List.sort compare keys in
+      keys = sorted)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "tie-break by seq" `Quick test_tie_break_by_seq;
+    Alcotest.test_case "peek does not pop" `Quick test_peek_does_not_pop;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "growth to 10k" `Quick test_growth;
+    QCheck_alcotest.to_alcotest qcheck_sorted_drain;
+  ]

@@ -1,0 +1,140 @@
+(* Tests for the sharded key-value store. *)
+
+open Sbft_kv
+module H = Sbft_spec.History
+
+let make ?(shards = 3) ?(clients = 3) ?(seed = 1L) () =
+  Store.create ~seed ~shards ~n:6 ~f:1 ~clients ()
+
+let test_put_get () =
+  let kv = make () in
+  let got = ref H.Incomplete in
+  Store.put kv ~client:0 ~key:"config" ~value:7
+    ~k:(fun () -> Store.get kv ~client:1 ~key:"config" ~k:(fun o -> got := o) ())
+    ();
+  Store.quiesce kv;
+  Alcotest.(check bool) "get sees put" true (!got = H.Value 7)
+
+let test_keys_independent () =
+  let kv = make () in
+  let a = ref H.Incomplete and b = ref H.Incomplete in
+  Store.put kv ~client:0 ~key:"a" ~value:1
+    ~k:(fun () ->
+      Store.put kv ~client:0 ~key:"b" ~value:2
+        ~k:(fun () ->
+          Store.get kv ~client:1 ~key:"a" ~k:(fun o -> a := o) ();
+          Store.get kv ~client:1 ~key:"b" ~k:(fun o -> b := o) ())
+        ())
+    ();
+  Store.quiesce kv;
+  Alcotest.(check bool) "key a unperturbed by key b" true (!a = H.Value 1);
+  Alcotest.(check bool) "key b" true (!b = H.Value 2)
+
+let test_concurrent_ops_different_keys () =
+  (* One client may have operations in flight on several keys at once. *)
+  let kv = make () in
+  let done_count = ref 0 in
+  List.iteri
+    (fun i key -> Store.put kv ~client:0 ~key ~value:(10 + i) ~k:(fun () -> incr done_count) ())
+    [ "k1"; "k2"; "k3"; "k4" ];
+  Store.quiesce kv;
+  Alcotest.(check int) "all four puts complete" 4 !done_count
+
+let test_sharding_deterministic () =
+  let kv = make ~shards:4 () in
+  Alcotest.(check int) "stable partition" (Store.shard_of_key kv "x") (Store.shard_of_key kv "x");
+  let shards = List.map (Store.shard_of_key kv) [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ] in
+  Alcotest.(check bool) "keys spread over shards" true (List.length (List.sort_uniq Int.compare shards) > 1);
+  List.iter (fun s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 4)) shards
+
+let test_keys_touched () =
+  let kv = make () in
+  Store.put kv ~client:0 ~key:"zeta" ~value:1 ();
+  Store.get kv ~client:1 ~key:"alpha" ();
+  Store.quiesce kv;
+  Alcotest.(check (list string)) "sorted keys" [ "alpha"; "zeta" ] (Store.keys_touched kv)
+
+let test_regular_under_mixed_workload () =
+  let kv = make ~seed:5L () in
+  let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+  let rng = Sbft_sim.Rng.create 9L in
+  let next_value = ref 100 in
+  let rec client_loop c remaining =
+    if remaining > 0 then begin
+      let key = Sbft_sim.Rng.pick rng keys in
+      if Sbft_sim.Rng.chance rng 0.4 then begin
+        let v = !next_value in
+        incr next_value;
+        Store.put kv ~client:c ~key ~value:v ~k:(fun () -> client_loop c (remaining - 1)) ()
+      end
+      else Store.get kv ~client:c ~key ~k:(fun _ -> client_loop c (remaining - 1)) ()
+    end
+  in
+  for c = 0 to 2 do
+    client_loop c 20
+  done;
+  Store.quiesce kv;
+  let checked, violations = Store.check_regular kv in
+  Alcotest.(check int) "no violations across keys" 0 violations;
+  Alcotest.(check bool) "plenty of reads audited" true (checked > 10)
+
+let test_shard_fault_correlation () =
+  (* Compromise one shard; keys on it get Byzantine servers (harmless at
+     f=1), keys on other shards are untouched — and a key FIRST TOUCHED
+     AFTER the compromise still inherits it. *)
+  let kv = make ~shards:2 ~seed:7L () in
+  let target_shard = Store.shard_of_key kv "hot" in
+  Store.put kv ~client:0 ~key:"hot" ~value:1 ();
+  Store.quiesce kv;
+  let installed = ref 0 in
+  Store.apply_to_shard kv ~shard:target_shard (fun sys ->
+      incr installed;
+      ignore (Sbft_byz.Strategy.install_all sys Sbft_byz.Strategies.stale_replay));
+  Alcotest.(check int) "applied to the existing key register" 1 !installed;
+  (* Touch a fresh key that hashes to the same shard. *)
+  let fresh =
+    let rec find i =
+      let cand = Printf.sprintf "key%d" i in
+      if Store.shard_of_key kv cand = target_shard then cand else find (i + 1)
+    in
+    find 0
+  in
+  Store.put kv ~client:0 ~key:fresh ~value:2 ();
+  Store.quiesce kv;
+  Alcotest.(check int) "hook replayed on the new key register" 2 !installed;
+  (* The store still works on that shard (f=1 tolerated). *)
+  let got = ref H.Incomplete in
+  Store.get kv ~client:1 ~key:fresh ~k:(fun o -> got := o) ();
+  Store.quiesce kv;
+  Alcotest.(check bool) "reads fine despite compromised shard" true (!got = H.Value 2)
+
+let test_corruption_recovery () =
+  let kv = make ~seed:11L () in
+  Store.put kv ~client:0 ~key:"x" ~value:1 ();
+  Store.quiesce kv;
+  Store.corrupt_everything kv ~severity:`Heavy;
+  (* Scrubbing put per key, then reads must be valid. *)
+  let got = ref H.Incomplete in
+  Store.put kv ~client:0 ~key:"x" ~value:2
+    ~k:(fun () -> Store.get kv ~client:1 ~key:"x" ~k:(fun o -> got := o) ())
+    ();
+  Store.quiesce kv;
+  Alcotest.(check bool) "recovered after corruption" true (!got = H.Value 2)
+
+let test_bad_client_rejected () =
+  let kv = make ~clients:2 () in
+  Alcotest.check_raises "client out of range" (Invalid_argument "Store: bad client index")
+    (fun () -> Store.put kv ~client:5 ~key:"x" ~value:1 ())
+
+let suite =
+  [
+    Alcotest.test_case "put/get" `Quick test_put_get;
+    Alcotest.test_case "keys independent" `Quick test_keys_independent;
+    Alcotest.test_case "concurrent ops on different keys" `Quick test_concurrent_ops_different_keys;
+    Alcotest.test_case "sharding deterministic" `Quick test_sharding_deterministic;
+    Alcotest.test_case "keys touched" `Quick test_keys_touched;
+    Alcotest.test_case "regular under mixed workload" `Quick test_regular_under_mixed_workload;
+    Alcotest.test_case "shard fault correlation" `Quick test_shard_fault_correlation;
+    Alcotest.test_case "corruption recovery" `Quick test_corruption_recovery;
+    Alcotest.test_case "bad client rejected" `Quick test_bad_client_rejected;
+  ]

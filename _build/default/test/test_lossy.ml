@@ -1,0 +1,93 @@
+(* Tests for the bounded lossy non-FIFO channel. *)
+
+open Sbft_sim
+open Sbft_channel
+
+let make ?(capacity = 4) ?(loss = 0.0) ?(max_delay = 5) () =
+  let e = Engine.create ~seed:21L () in
+  let seen = ref [] in
+  let ch = Lossy.create e ~capacity ~loss ~max_delay ~handler:(fun p -> seen := p :: !seen) in
+  (e, ch, fun () -> List.rev !seen)
+
+let test_lossless_delivers_all () =
+  let e, ch, got = make () in
+  for i = 1 to 4 do
+    Lossy.send ch i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "same multiset" [ 1; 2; 3; 4 ] (List.sort Int.compare (got ()))
+
+let test_capacity_bound () =
+  let e, ch, got = make ~capacity:3 () in
+  for i = 1 to 10 do
+    Lossy.send ch i
+  done;
+  Alcotest.(check int) "occupancy capped" 3 (Lossy.occupancy ch);
+  Alcotest.(check int) "overflow counted as lost" 7 (Lossy.lost ch);
+  Engine.run e;
+  Alcotest.(check int) "only capacity delivered" 3 (List.length (got ()))
+
+let test_total_loss () =
+  let e, ch, got = make ~loss:1.0 () in
+  for i = 1 to 5 do
+    Lossy.send ch i
+  done;
+  Engine.run e;
+  Alcotest.(check int) "nothing delivered" 0 (List.length (got ()));
+  Alcotest.(check int) "all lost" 5 (Lossy.lost ch)
+
+let test_preload () =
+  let e, ch, got = make ~capacity:4 () in
+  Lossy.preload ch [ 91; 92 ];
+  Engine.run e;
+  Alcotest.(check (list int)) "preloaded content delivered" [ 91; 92 ]
+    (List.sort Int.compare (got ()))
+
+let test_preload_respects_capacity () =
+  let _, ch, _ = make ~capacity:2 () in
+  Lossy.preload ch [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "truncated to capacity" 2 (Lossy.occupancy ch)
+
+let test_reordering_happens () =
+  (* Over many trials the random pick must produce at least one
+     non-FIFO delivery order — otherwise the channel would secretly be
+     FIFO and the data-link test would prove nothing. *)
+  let reordered = ref false in
+  for seed = 1 to 30 do
+    let e = Engine.create ~seed:(Int64.of_int seed) () in
+    let seen = ref [] in
+    let ch = Lossy.create e ~capacity:8 ~loss:0.0 ~max_delay:10 ~handler:(fun p -> seen := p :: !seen) in
+    for i = 1 to 8 do
+      Lossy.send ch i
+    done;
+    Engine.run e;
+    if List.rev !seen <> [ 1; 2; 3; 4; 5; 6; 7; 8 ] then reordered := true
+  done;
+  Alcotest.(check bool) "non-FIFO under some schedule" true !reordered
+
+let test_fairness_under_loss () =
+  (* A value sent repeatedly gets through a 50%-lossy channel. *)
+  let e, ch, got = make ~capacity:2 ~loss:0.5 () in
+  let delivered () = List.length (got ()) in
+  let attempts = ref 0 in
+  let rec pump () =
+    if delivered () = 0 && !attempts < 200 then begin
+      incr attempts;
+      Lossy.send ch 7;
+      Engine.schedule e ~delay:3 pump
+    end
+  in
+  pump ();
+  Engine.run e;
+  Alcotest.(check bool) "eventually delivered" true (delivered () > 0)
+
+let suite =
+  [
+    Alcotest.test_case "lossless delivers all" `Quick test_lossless_delivers_all;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "total loss" `Quick test_total_loss;
+    Alcotest.test_case "preload" `Quick test_preload;
+    Alcotest.test_case "preload respects capacity" `Quick test_preload_respects_capacity;
+    Alcotest.test_case "reordering happens" `Quick test_reordering_happens;
+    Alcotest.test_case "fairness under loss" `Quick test_fairness_under_loss;
+  ]

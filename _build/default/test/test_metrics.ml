@@ -1,0 +1,68 @@
+(* Tests for counters, series, and the trace ring buffer. *)
+
+open Sbft_sim
+
+let test_counters () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "unset is 0" 0 (Metrics.get m "a");
+  Metrics.incr m "a";
+  Metrics.incr m "a";
+  Metrics.add m "a" 3;
+  Alcotest.(check int) "incr and add" 5 (Metrics.get m "a");
+  Metrics.incr m "b";
+  Alcotest.(check (list (pair string int))) "sorted listing" [ ("a", 5); ("b", 1) ] (Metrics.counters m)
+
+let test_series () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "empty series" 0 (Array.length (Metrics.series m "lat"));
+  for i = 1 to 40 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  let s = Metrics.series m "lat" in
+  Alcotest.(check int) "length past initial capacity" 40 (Array.length s);
+  Alcotest.(check (float 0.0)) "order preserved" 40.0 s.(39)
+
+let test_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.observe m "s" 1.0;
+  Metrics.reset m;
+  Alcotest.(check int) "counter reset" 0 (Metrics.get m "a");
+  Alcotest.(check int) "series reset" 0 (Array.length (Metrics.series m "s"))
+
+let test_trace_disabled_is_noop () =
+  let t = Trace.create ~enabled:false () in
+  Trace.log t ~time:1 "x";
+  Alcotest.(check int) "nothing retained" 0 (List.length (Trace.entries t))
+
+let test_trace_retention () =
+  let t = Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 3 do
+    Trace.log t ~time:i (string_of_int i)
+  done;
+  Alcotest.(check (list (pair int string)))
+    "oldest first" [ (1, "1"); (2, "2"); (3, "3") ] (Trace.entries t)
+
+let test_trace_ring_wrap () =
+  let t = Trace.create ~capacity:3 ~enabled:true () in
+  for i = 1 to 5 do
+    Trace.log t ~time:i (string_of_int i)
+  done;
+  Alcotest.(check (list (pair int string)))
+    "only most recent capacity" [ (3, "3"); (4, "4"); (5, "5") ] (Trace.entries t)
+
+let test_trace_logf_lazy () =
+  let t = Trace.create ~enabled:true () in
+  Trace.logf t ~time:7 "n=%d s=%s" 42 "hi";
+  Alcotest.(check (list (pair int string))) "formatted" [ (7, "n=42 s=hi") ] (Trace.entries t)
+
+let suite =
+  [
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_noop;
+    Alcotest.test_case "trace retention" `Quick test_trace_retention;
+    Alcotest.test_case "trace ring wrap" `Quick test_trace_ring_wrap;
+    Alcotest.test_case "trace logf" `Quick test_trace_logf_lazy;
+  ]

@@ -1,0 +1,78 @@
+(* Tests for multi-writer timestamps and the unbounded baseline scheme. *)
+
+open Sbft_labels
+
+let sys = Sbls.system ~k:4
+
+let l0 = Sbls.initial sys
+
+let test_writer_tie_break () =
+  let a = Mw_ts.make ~label:l0 ~writer:1 and b = Mw_ts.make ~label:l0 ~writer:2 in
+  Alcotest.(check bool) "same label, lower id first" true (Mw_ts.prec a b);
+  Alcotest.(check bool) "antisymmetric" false (Mw_ts.prec b a)
+
+let test_label_precedence_wins () =
+  let l1 = Sbls.next sys [ l0 ] in
+  let a = Mw_ts.make ~label:l0 ~writer:9 and b = Mw_ts.make ~label:l1 ~writer:1 in
+  Alcotest.(check bool) "label order beats writer id" true (Mw_ts.prec a b)
+
+let test_equal_and_compare () =
+  let a = Mw_ts.make ~label:l0 ~writer:3 in
+  Alcotest.(check bool) "equal to itself" true (Mw_ts.equal a a);
+  Alcotest.(check int) "compare 0" 0 (Mw_ts.compare a a);
+  let b = Mw_ts.make ~label:l0 ~writer:4 in
+  Alcotest.(check bool) "not equal across writers" false (Mw_ts.equal a b)
+
+let test_next_carries_writer () =
+  let ts = Mw_ts.next sys ~writer:7 [ Mw_ts.initial sys ] in
+  Alcotest.(check int) "writer id attached" 7 ts.writer;
+  Alcotest.(check bool) "dominates input" true (Mw_ts.prec (Mw_ts.initial sys) ts)
+
+let test_next_dominates_mixed_writers () =
+  let r = Sbft_sim.Rng.create 5L in
+  for _ = 1 to 200 do
+    let inputs = List.init 4 (fun _ -> Mw_ts.random sys r ~clients:5) in
+    let nxt = Mw_ts.next sys ~writer:0 inputs in
+    List.iter
+      (fun t -> if not (Mw_ts.prec t nxt) then Alcotest.fail "next must dominate all inputs")
+      inputs
+  done
+
+let test_unbounded_total_order () =
+  let open Unbounded in
+  let a = { ts = 3; writer = 1 } and b = { ts = 3; writer = 2 } and c = { ts = 4; writer = 0 } in
+  Alcotest.(check bool) "ts order" true (prec a c);
+  Alcotest.(check bool) "writer tie-break" true (prec a b);
+  Alcotest.(check bool) "transitive" true (prec a c && prec b c)
+
+let test_unbounded_next () =
+  let open Unbounded in
+  let nxt = next ~writer:5 [ { ts = 10; writer = 0 }; { ts = 7; writer = 3 } ] in
+  Alcotest.(check int) "max + 1" 11 nxt.ts;
+  Alcotest.(check int) "writer" 5 nxt.writer
+
+let test_unbounded_bits_grow () =
+  let open Unbounded in
+  Alcotest.(check bool) "bits grow with magnitude" true
+    (size_bits { ts = 1_000_000; writer = 0 } > size_bits { ts = 10; writer = 0 })
+
+let test_unbounded_overflow_is_the_trap () =
+  (* The failure mode the bounded scheme eliminates: max+1 on the
+     maximal machine integer wraps negative and can never dominate. *)
+  let open Unbounded in
+  let poisoned = { ts = max_int; writer = 0 } in
+  let nxt = next ~writer:1 [ poisoned ] in
+  Alcotest.(check bool) "overflowed next does not dominate" false (prec poisoned nxt)
+
+let suite =
+  [
+    Alcotest.test_case "writer tie-break" `Quick test_writer_tie_break;
+    Alcotest.test_case "label precedence wins" `Quick test_label_precedence_wins;
+    Alcotest.test_case "equal / compare" `Quick test_equal_and_compare;
+    Alcotest.test_case "next carries writer" `Quick test_next_carries_writer;
+    Alcotest.test_case "next dominates mixed writers" `Quick test_next_dominates_mixed_writers;
+    Alcotest.test_case "unbounded: total order" `Quick test_unbounded_total_order;
+    Alcotest.test_case "unbounded: next is max+1" `Quick test_unbounded_next;
+    Alcotest.test_case "unbounded: bits grow" `Quick test_unbounded_bits_grow;
+    Alcotest.test_case "unbounded: overflow trap" `Quick test_unbounded_overflow_is_the_trap;
+  ]

@@ -1,0 +1,83 @@
+(* Tests for the bounded read-label bookkeeping (Figure 3's matrix). *)
+
+open Sbft_labels
+
+let make () = Read_labels.create ~servers:4 ~pool:3
+
+let test_pool_size_guard () =
+  Alcotest.check_raises "pool < 2" (Invalid_argument "Read_labels.create: pool must be >= 2")
+    (fun () -> ignore (Read_labels.create ~servers:4 ~pool:1))
+
+let test_choose_avoids_last () =
+  let t = make () in
+  let l1 = Read_labels.choose t in
+  let l2 = Read_labels.choose t in
+  Alcotest.(check bool) "consecutive choices differ" true (l1 <> l2);
+  Alcotest.(check int) "last tracks choice" l2 (Read_labels.last t)
+
+let test_choose_prefers_least_pending () =
+  let t = make () in
+  (* Label 0 was just used (last=0 initially via choose), make 1 busy. *)
+  let _ = Read_labels.choose t in
+  let last = Read_labels.last t in
+  let other_labels = List.filter (fun l -> l <> last) [ 0; 1; 2 ] in
+  let busy = List.hd other_labels and free = List.nth other_labels 1 in
+  List.iter (fun s -> Read_labels.mark_pending t ~server:s ~label:busy) [ 0; 1; 2 ];
+  Alcotest.(check int) "least-pending label chosen" free (Read_labels.choose t)
+
+let test_pending_counting () =
+  let t = make () in
+  Alcotest.(check int) "initially zero" 0 (Read_labels.pending_count t ~label:1);
+  Read_labels.mark_pending t ~server:0 ~label:1;
+  Read_labels.mark_pending t ~server:2 ~label:1;
+  Read_labels.mark_pending t ~server:2 ~label:1;
+  Alcotest.(check int) "distinct servers" 2 (Read_labels.pending_count t ~label:1);
+  Read_labels.clear_pending t ~server:2 ~label:1;
+  Alcotest.(check int) "cleared" 1 (Read_labels.pending_count t ~label:1);
+  Alcotest.(check bool) "is_pending" true (Read_labels.is_pending t ~server:0 ~label:1)
+
+let test_out_of_range_tolerated () =
+  (* Byzantine servers echo arbitrary labels; bookkeeping must shrug. *)
+  let t = make () in
+  Read_labels.mark_pending t ~server:9 ~label:7;
+  Read_labels.clear_pending t ~server:(-1) ~label:(-4);
+  Alcotest.(check int) "out-of-range label count" 0 (Read_labels.pending_count t ~label:7);
+  Alcotest.(check bool) "out-of-range not pending" false (Read_labels.is_pending t ~server:9 ~label:7)
+
+let test_corrupt_then_recover () =
+  let t = make () in
+  let rng = Sbft_sim.Rng.create 31L in
+  Read_labels.corrupt t rng;
+  (* Whatever the corruption did, choose still returns a pool label and
+     clearing all pendings drains every column. *)
+  let l = Read_labels.choose t in
+  Alcotest.(check bool) "choice in pool" true (l >= 0 && l < 3);
+  for s = 0 to 3 do
+    for lab = 0 to 2 do
+      Read_labels.clear_pending t ~server:s ~label:lab
+    done
+  done;
+  for lab = 0 to 2 do
+    Alcotest.(check int) "column drained" 0 (Read_labels.pending_count t ~label:lab)
+  done
+
+let qcheck_choose_in_pool =
+  QCheck.Test.make ~name:"read_labels: choose always lands in the pool" ~count:500
+    QCheck.(pair (int_bound 10_000) (int_range 2 6))
+    (fun (seed, pool) ->
+      let t = Read_labels.create ~servers:5 ~pool in
+      let rng = Sbft_sim.Rng.create (Int64.of_int seed) in
+      Read_labels.corrupt t rng;
+      let l = Read_labels.choose t in
+      l >= 0 && l < pool)
+
+let suite =
+  [
+    Alcotest.test_case "pool size guard" `Quick test_pool_size_guard;
+    Alcotest.test_case "choose avoids last" `Quick test_choose_avoids_last;
+    Alcotest.test_case "choose prefers least pending" `Quick test_choose_prefers_least_pending;
+    Alcotest.test_case "pending counting" `Quick test_pending_counting;
+    Alcotest.test_case "out-of-range tolerated" `Quick test_out_of_range_tolerated;
+    Alcotest.test_case "corrupt then recover" `Quick test_corrupt_then_recover;
+    QCheck_alcotest.to_alcotest qcheck_choose_in_pool;
+  ]
