@@ -1,0 +1,27 @@
+.PHONY: all build test check lint bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Raw metric-name literals bypass the Metric_names registry; the same
+# rule is enforced (with statement-aware scanning) by the
+# "metric-names" alcotest suite — this grep is the fast pre-commit cut.
+lint:
+	@bad=$$(grep -rn 'Metrics\.\(incr\|add\|record\|get\|observe\)[^;]*"' lib --include='*.ml' \
+	  | grep -v 'metric_names\.ml' | grep -v 'Metric_names\.' | grep -v 'Names\.' || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "raw metric-name literals (use Sbft_sim.Metric_names):"; echo "$$bad"; exit 1; \
+	else echo "lint: metric names OK"; fi
+
+check: build test lint
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -17,10 +17,38 @@ let outcome_str = function
 (* ------------------------------------------------------------------ *)
 (* run *)
 
+let open_out_or_die path =
+  try open_out path
+  with Sys_error e ->
+    Printf.eprintf "cannot open %s: %s\n" path e;
+    exit 1
+
+let violation_kind_str = function
+  | `Stale -> "stale"
+  | `Future -> "future"
+  | `Unwritten -> "unwritten"
+  | `Inversion _ -> "inversion"
+  | `Order -> "order"
+
 let run_cmd =
-  let go n f clients seed ops write_ratio strategy corrupt =
+  let go n f clients seed ops write_ratio strategy corrupt trace_out metrics_out =
     let cfg = Sbft_core.Config.make ~allow_unsafe:true ~n ~f ~clients () in
-    let sys = Sbft_core.System.create ~seed cfg in
+    (* tracing is always on here: the ring is what the forensic dump
+       slices when the checker flags the run *)
+    let sys = Sbft_core.System.create ~seed ~trace:true cfg in
+    let engine = Sbft_core.System.engine sys in
+    let tr = Sbft_sim.Engine.trace engine in
+    (* open both artifact files before the run: a bad path should fail
+       here, not after the simulation has burned its budget *)
+    let trace_oc =
+      Option.map
+        (fun path ->
+          let oc = open_out_or_die path in
+          Sbft_sim.Trace.add_sink tr (Sbft_sim.Trace.jsonl_sink oc);
+          (path, oc))
+        trace_out
+    in
+    let metrics_oc = Option.map (fun path -> (path, open_out_or_die path)) metrics_out in
     (match strategy with
     | None -> ()
     | Some name -> (
@@ -40,18 +68,63 @@ let run_cmd =
     Printf.printf "completed: %d writes, %d reads (%d aborted)\n" (reg.completed_writes ())
       (reg.completed_reads ()) (reg.aborted_reads ());
     let after = Option.value ~default:max_int (reg.first_write_completion ()) in
-    let c = reg.check_regular ~after () in
+    let history = Sbft_core.System.history sys in
+    let c = Sbft_spec.Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
+    let violations = List.length c.violations in
     Printf.printf "regularity (after first write at t=%s): %d checked, %d violations\n"
       (if after = max_int then "-" else string_of_int after)
-      c.checked c.violations;
-    List.iter (fun d -> Printf.printf "  VIOLATION: %s\n" d) c.detail;
+      c.checked_reads violations;
+    List.iter
+      (fun (v : Sbft_spec.Regularity.violation) ->
+        Printf.printf "  VIOLATION: %s\n" v.detail;
+        Sbft_sim.Trace.emit tr ~time:(Sbft_sim.Engine.now engine)
+          (Sbft_sim.Event.Violation
+             { op_id = v.read_id; kind = violation_kind_str v.kind; detail = v.detail }))
+      c.violations;
+    if c.violations <> [] then
+      print_string (Sbft_harness.Forensics.dump_string ~trace:tr ~history c.violations);
     let w, r = reg.op_latencies () in
     let pp what s =
       Printf.printf "%s latency: %s\n" what (Format.asprintf "%a" Sbft_harness.Stats.pp_summary s)
     in
     pp "write" (Sbft_harness.Stats.summarize w);
     pp "read" (Sbft_harness.Stats.summarize r);
-    if c.violations > 0 then exit 2
+    let probe = Sbft_harness.Probe.analyze ~corruption:0 history in
+    if corrupt then Format.printf "%a@." Sbft_harness.Probe.pp probe;
+    Option.iter
+      (fun (path, oc) ->
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      trace_oc;
+    Option.iter
+      (fun (path, oc) ->
+        let module J = Sbft_sim.Json in
+        let run =
+          [
+            ("cmd", J.String "run");
+            ("n", J.Int n);
+            ("f", J.Int f);
+            ("clients", J.Int clients);
+            ("seed", J.String (Int64.to_string seed));
+            ("ops_per_client", J.Int ops);
+            ("write_ratio", J.Float write_ratio);
+            ("byzantine", match strategy with Some s -> J.String s | None -> J.Null);
+            ("corrupt", J.Bool corrupt);
+            ("wall_ticks", J.Int o.wall_ticks);
+          ]
+        in
+        output_string oc
+          (J.to_string
+             (Sbft_harness.Artifacts.metrics_json ~run ~stabilization:probe
+                ~regularity:(c.checked_reads, violations)
+                ~metrics:(Sbft_sim.Engine.metrics engine)
+                ~per_node:(Sbft_channel.Network.node_counters (Sbft_core.System.network sys))
+                ()));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      metrics_oc;
+    if violations > 0 then exit 2
   in
   let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of servers.") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
@@ -63,15 +136,31 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "byzantine" ] ~doc:"Byzantine strategy for f servers.")
   in
   let corrupt = Arg.(value & flag & info [ "corrupt" ] ~doc:"Corrupt all state and channels at t=0.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Stream the typed event trace to FILE as JSONL.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON metrics snapshot (counters, per-phase latency histograms with \
+             p50/p95/p99, per-node traffic, stabilization probe) to FILE.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload and audit it against MWMR regularity")
-    Term.(const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt)
+    Term.(const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment_cmd =
-  let go id csv html =
+  let go id csv html metrics_out =
+    let metrics_oc = Option.map (fun p -> (p, open_out_or_die p)) metrics_out in
     let tables =
       match String.lowercase_ascii id with
       | "all" -> Sbft_harness.Experiments.all ()
@@ -88,7 +177,7 @@ let experiment_cmd =
         Sbft_harness.Table.print t;
         if csv then print_string (Sbft_harness.Table.to_csv t))
       tables;
-    match html with
+    (match html with
     | Some path ->
         Sbft_harness.Report.write_file ~path
           ~title:"Stabilizing BFT Storage - experiments"
@@ -98,6 +187,15 @@ let experiment_cmd =
              for the paper-vs-measured discussion."
           tables;
         Printf.printf "wrote %s\n" path
+    | None -> ());
+    match metrics_oc with
+    | Some (path, oc) ->
+        let module J = Sbft_sim.Json in
+        output_string oc
+          (J.to_string (J.Obj [ ("tables", J.List (List.map Sbft_harness.Table.to_json tables)) ]));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
     | None -> ()
   in
   let id = Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e20) or all.") in
@@ -105,9 +203,15 @@ let experiment_cmd =
   let html =
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write an HTML report.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the result tables to FILE as JSON.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate an experiment table from DESIGN.md's index")
-    Term.(const go $ id $ csv $ html)
+    Term.(const go $ id $ csv $ html $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* attack *)

@@ -26,6 +26,23 @@ let is_corruption = function
       true
   | Byzantine _ | Crash _ | Slow_node _ | Slow_channel _ | Partition _ | Heal_partition -> false
 
+let pp_event fmt = function
+  | Corrupt_server (id, `Light) -> Format.fprintf fmt "corrupt-server %d (light)" id
+  | Corrupt_server (id, `Heavy) -> Format.fprintf fmt "corrupt-server %d (heavy)" id
+  | Corrupt_client id -> Format.fprintf fmt "corrupt-client %d" id
+  | Corrupt_channels d -> Format.fprintf fmt "corrupt-channels %.2f" d
+  | Corrupt_everything _ -> Format.fprintf fmt "corrupt-everything"
+  | Byzantine (id, s) -> Format.fprintf fmt "byzantine %d (%s)" id s.Strategy.name
+  | Heal id -> Format.fprintf fmt "heal %d" id
+  | Crash id -> Format.fprintf fmt "crash %d" id
+  | Slow_node (id, x) -> Format.fprintf fmt "slow-node %d x%d" id x
+  | Slow_channel (s, d, x) -> Format.fprintf fmt "slow-channel %d->%d x%d" s d x
+  | Partition groups ->
+      Format.fprintf fmt "partition %s"
+        (String.concat "|"
+           (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+  | Heal_partition -> Format.fprintf fmt "heal-partition"
+
 let run_event sys = function
   | Corrupt_server (id, sev) -> System.corrupt_server sys id ~severity:sev
   | Corrupt_client id -> System.corrupt_client sys id
@@ -47,6 +64,11 @@ let apply ?monitor sys plan =
   List.iter
     (fun (at, event) ->
       let fire () =
+        Sbft_sim.Metrics.incr (Engine.metrics engine) Sbft_sim.Metric_names.faults_injected;
+        let tr = Engine.trace engine in
+        if Sbft_sim.Trace.enabled tr then
+          Sbft_sim.Trace.emit tr ~time:(Engine.now engine)
+            (Sbft_sim.Event.Fault_injected { desc = Format.asprintf "%a" pp_event event });
         run_event sys event;
         match monitor with
         | Some m when is_corruption event -> Sbft_core.Invariants.notify_corruption m
@@ -80,23 +102,6 @@ let storm ~seed ~n ~f ~clients:_ ~waves ~every =
   (* Let the last wave heal too, so the storm ends with honest servers. *)
   List.iter (fun id -> plan := (((waves + 1) * every) - 1, Heal id) :: !plan) !currently_byz;
   List.rev !plan
-
-let pp_event fmt = function
-  | Corrupt_server (id, `Light) -> Format.fprintf fmt "corrupt-server %d (light)" id
-  | Corrupt_server (id, `Heavy) -> Format.fprintf fmt "corrupt-server %d (heavy)" id
-  | Corrupt_client id -> Format.fprintf fmt "corrupt-client %d" id
-  | Corrupt_channels d -> Format.fprintf fmt "corrupt-channels %.2f" d
-  | Corrupt_everything _ -> Format.fprintf fmt "corrupt-everything"
-  | Byzantine (id, s) -> Format.fprintf fmt "byzantine %d (%s)" id s.Strategy.name
-  | Heal id -> Format.fprintf fmt "heal %d" id
-  | Crash id -> Format.fprintf fmt "crash %d" id
-  | Slow_node (id, x) -> Format.fprintf fmt "slow-node %d x%d" id x
-  | Slow_channel (s, d, x) -> Format.fprintf fmt "slow-channel %d->%d x%d" s d x
-  | Partition groups ->
-      Format.fprintf fmt "partition %s"
-        (String.concat "|"
-           (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
-  | Heal_partition -> Format.fprintf fmt "heal-partition"
 
 let pp fmt plan =
   List.iter (fun (at, e) -> Format.fprintf fmt "[%d] %a@." at pp_event e) plan

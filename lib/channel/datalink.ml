@@ -1,5 +1,9 @@
 module Engine = Sbft_sim.Engine
 module Rng = Sbft_sim.Rng
+module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
 
 type 'a pkt = { label : int; payload : 'a }
 
@@ -17,6 +21,7 @@ type 'a t = {
   outbox : 'a Queue.t;
   mutable sender_label : int;
   mutable current : 'a pkt option;
+  mutable current_since : int; (* first-transmit time of [current], for the ack RTT *)
   mutable acks_got : int;
   mutable timer_armed : bool;
   (* Receiver. *)
@@ -38,8 +43,15 @@ let ack_chan t = Option.get t.ack_chan
 
 let transmit t pkt =
   t.transmissions <- t.transmissions + 1;
-  Sbft_sim.Metrics.incr (Engine.metrics t.engine) "dl.transmissions";
+  Metrics.incr (Engine.metrics t.engine) Names.dl_transmissions;
   Lossy.send (data_chan t) pkt
+
+let retransmit t pkt =
+  Metrics.incr (Engine.metrics t.engine) Names.dl_retransmissions;
+  let tr = Engine.trace t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr ~time:(Engine.now t.engine) (Event.Retransmit { label = pkt.label });
+  transmit t pkt
 
 let rec arm_timer t =
   if not t.timer_armed then begin
@@ -48,7 +60,7 @@ let rec arm_timer t =
         t.timer_armed <- false;
         match t.current with
         | Some pkt ->
-            transmit t pkt;
+            retransmit t pkt;
             arm_timer t
         | None -> ())
   end
@@ -58,6 +70,7 @@ let start_next t =
     t.sender_label <- (t.sender_label + 1) mod t.labels;
     let pkt = { label = t.sender_label; payload = Queue.pop t.outbox } in
     t.current <- Some pkt;
+    t.current_since <- Engine.now t.engine;
     t.acks_got <- 0;
     transmit t pkt;
     arm_timer t
@@ -68,6 +81,11 @@ let on_ack t label =
   | Some pkt when pkt.label = label ->
       t.acks_got <- t.acks_got + 1;
       if t.acks_got >= t.capacity + 1 then begin
+        let rtt = Engine.now t.engine - t.current_since in
+        Metrics.record (Engine.metrics t.engine) Names.dl_ack_rtt_ticks (float_of_int rtt);
+        let tr = Engine.trace t.engine in
+        if Trace.enabled tr then
+          Trace.emit tr ~time:(Engine.now t.engine) (Event.Ack_roundtrip { label; ticks = rtt });
         t.current <- None;
         start_next t
       end
@@ -75,7 +93,7 @@ let on_ack t label =
 
 let ack t label =
   t.acks_sent <- t.acks_sent + 1;
-  Sbft_sim.Metrics.incr (Engine.metrics t.engine) "dl.acks";
+  Metrics.incr (Engine.metrics t.engine) Names.dl_acks;
   Lossy.send (ack_chan t) label
 
 let on_data t pkt =
@@ -109,6 +127,7 @@ let create engine ~capacity ~loss ~max_delay ~deliver () =
       outbox = Queue.create ();
       sender_label = 0;
       current = None;
+      current_since = 0;
       acks_got = 0;
       timer_armed = false;
       last_label = 0;

@@ -1,6 +1,9 @@
 module Engine = Sbft_sim.Engine
 module Rng = Sbft_sim.Rng
 module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
 
 type 'msg handler = src:int -> 'msg -> unit
 
@@ -26,6 +29,8 @@ type 'msg t = {
   mutable groups : int array option; (* partition: group id per endpoint *)
   parked_q : (int * int * 'msg) Queue.t; (* sends withheld by the partition, in order *)
   mutable observer : (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option;
+  node_sent : int array; (* per-endpoint breakdown for the metrics artifact *)
+  node_delivered : int array;
 }
 
 let create engine ~endpoints ~delay ?classify ?(transport = Direct) () =
@@ -46,6 +51,8 @@ let create engine ~endpoints ~delay ?classify ?(transport = Direct) () =
     groups = None;
     parked_q = Queue.create ();
     observer = None;
+    node_sent = Array.make endpoints 0;
+    node_delivered = Array.make endpoints 0;
   }
 
 let engine t = t.engine
@@ -75,21 +82,31 @@ let observe t hook = t.observer <- hook
 let notify t event ~src ~dst msg =
   match t.observer with Some f -> f ~event ~src ~dst msg | None -> ()
 
+let kind_of t msg = match t.classify with Some f -> f msg | None -> ""
+
+let drop t ~src ~dst ~kind reason =
+  Metrics.incr (Engine.metrics t.engine) Names.net_dropped;
+  let tr = Engine.trace t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_dropped { src; dst; kind; reason })
+
 let deliver t ~src ~dst msg =
   let m = Engine.metrics t.engine in
   let tr = Engine.trace t.engine in
-  if Sbft_sim.Trace.enabled tr then
-    Sbft_sim.Trace.logf tr ~time:(Engine.now t.engine) "deliver %d->%d%s" src dst
-      (match t.classify with Some f -> " " ^ f msg | None -> "");
-  if t.down.(dst) then Metrics.incr m "net.dropped"
+  if t.down.(dst) then drop t ~src ~dst ~kind:(kind_of t msg) "crashed"
   else
-    let msg = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
-    match msg, t.handlers.(dst) with
+    let kept = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
+    match kept, t.handlers.(dst) with
     | Some payload, Some h ->
-        Metrics.incr m "net.delivered";
+        Metrics.incr m Names.net_delivered;
+        t.node_delivered.(dst) <- t.node_delivered.(dst) + 1;
+        if Trace.enabled tr then
+          Trace.emit tr ~time:(Engine.now t.engine)
+            (Event.Msg_delivered { src; dst; kind = kind_of t payload });
         notify t `Deliver ~src ~dst payload;
         h ~src payload
-    | _ -> Metrics.incr m "net.dropped"
+    | None, _ -> drop t ~src ~dst ~kind:(kind_of t msg) "tampered"
+    | Some _, None -> drop t ~src ~dst ~kind:(kind_of t msg) "no_handler"
 
 let enqueue t ~src ~dst ~delay_ticks msg =
   let c = chan t ~src ~dst in
@@ -131,11 +148,17 @@ let transmit_now t ~src ~dst msg =
 let send t ~src ~dst msg =
   if not t.down.(src) then begin
     let m = Engine.metrics t.engine in
-    Metrics.incr m "net.sent";
-    (match t.classify with Some f -> Metrics.incr m ("net.sent." ^ f msg) | None -> ());
+    Metrics.incr m Names.net_sent;
+    t.node_sent.(src) <- t.node_sent.(src) + 1;
+    (match t.classify with
+    | Some f -> Metrics.incr m (Names.net_sent_kind_prefix ^ f msg)
+    | None -> ());
+    let tr = Engine.trace t.engine in
+    if Trace.enabled tr then
+      Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_sent { src; dst; kind = kind_of t msg });
     notify t `Send ~src ~dst msg;
     if partitioned t ~src ~dst then begin
-      Metrics.incr m "net.parked";
+      Metrics.incr m Names.net_parked;
       Queue.push (src, dst, msg) t.parked_q
     end
     else transmit_now t ~src ~dst msg
@@ -158,7 +181,10 @@ let parked t = Queue.length t.parked_q
 let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
 
 let inject t ~src ~dst msg =
-  Metrics.incr (Engine.metrics t.engine) "net.injected";
+  Metrics.incr (Engine.metrics t.engine) Names.net_injected;
   enqueue t ~src ~dst ~delay_ticks:1 msg
 
 let in_flight t = t.queued
+
+let node_counters t =
+  Array.init t.n (fun i -> (t.node_sent.(i), t.node_delivered.(i)))

@@ -104,6 +104,10 @@ val parked : 'msg t -> int
 val in_flight : 'msg t -> int
 (** Messages currently queued for delivery. *)
 
+val node_counters : 'msg t -> (int * int) array
+(** Per-endpoint [(sent, delivered)] counts — the per-node breakdown
+    of the metrics artifact. *)
+
 val observe : 'msg t -> (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option -> unit
 (** Install a wiretap called on every send and every delivery (after
     tamper).  Used by the sequence-diagram renderer and flow analyses;

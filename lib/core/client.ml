@@ -4,6 +4,11 @@ module Sbls = Sbft_labels.Sbls
 module Wtsg = Sbft_labels.Wtsg
 module Read_labels = Sbft_labels.Read_labels
 module Rng = Sbft_sim.Rng
+module Engine = Sbft_sim.Engine
+module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
 
 type read_outcome = Sbft_spec.History.read_outcome
 
@@ -23,6 +28,11 @@ type read_phase =
   | R_flush of { k : read_outcome -> unit; label : int }
   | R_read of { k : read_outcome -> unit; label : int }
 
+(* One live span per operation: [op] is the history operation id when
+   the caller (System) provides one, [t0] the invocation instant, [ph]
+   the start of the current phase. *)
+type span = { op : int; t0 : int; mutable ph : int }
+
 type t = {
   cfg : Config.t;
   sys : Sbls.system;
@@ -30,6 +40,9 @@ type t = {
   id : int;
   mutable wphase : write_phase;
   mutable rphase : read_phase;
+  mutable wspan : span option;
+  mutable rspan : span option;
+  mutable op_seq : int; (* fallback span ids when driven without a history *)
   rl : Read_labels.t;
   safe : bool array; (* per server: echoed FLUSH_ACK for the current label *)
   replies : (int, int * Msg.ts) Hashtbl.t; (* server -> current pair *)
@@ -51,11 +64,47 @@ let servers t = Config.server_ids t.cfg
 let is_server t src = Config.is_server t.cfg src
 
 (* ------------------------------------------------------------------ *)
+(* Span plumbing.                                                      *)
+
+let engine t = Network.engine t.net
+
+let now t = Engine.now (engine t)
+
+let metrics t = Engine.metrics (engine t)
+
+let emit t ev =
+  let tr = Engine.trace (engine t) in
+  if Trace.enabled tr then Trace.emit tr ~time:(now t) ev
+
+let fresh_span t ~op_id =
+  match op_id with
+  | Some op ->
+      let at = now t in
+      { op; t0 = at; ph = at }
+  | None ->
+      (* Negative ids keep direct-driven clients (no history) distinct
+         from history operation ids, which start at 0. *)
+      t.op_seq <- t.op_seq + 1;
+      let at = now t in
+      { op = -((t.id * 1_000_000) + t.op_seq); t0 = at; ph = at }
+
+let phase_done t span ~hist ~phase =
+  let at = now t in
+  let ticks = at - span.ph in
+  Metrics.record (metrics t) hist (float_of_int ticks);
+  emit t (Event.Op_phase { op_id = span.op; client = t.id; phase; ticks });
+  span.ph <- at;
+  ticks
+
+(* ------------------------------------------------------------------ *)
 (* Writer (Figure 1a).                                                 *)
 
-let write t ~value k =
+let write ?op_id t ~value k =
   if t.wphase <> W_idle then invalid_arg "Client.write: write already in progress";
   let got = Hashtbl.create (t.cfg.n * 2) in
+  let span = fresh_span t ~op_id in
+  t.wspan <- Some span;
+  emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "write" });
   t.wphase <- W_collect { value; k; got };
   List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t)
 
@@ -64,6 +113,13 @@ let on_ts_reply t ~src ts =
   | W_collect { value; k; got } when is_server t src ->
       Hashtbl.replace got src ts;
       if Hashtbl.length got >= Config.quorum t.cfg then begin
+        (match t.wspan with
+        | Some span ->
+            emit t
+              (Event.Quorum_formed
+                 { op_id = span.op; client = t.id; phase = "ts"; size = Hashtbl.length got });
+            ignore (phase_done t span ~hist:Names.write_collect_ticks ~phase:"collect")
+        | None -> ());
         let collected = Hashtbl.fold (fun _ ts acc -> ts :: acc) got [] in
         let wts = Mw_ts.next t.sys ~writer:t.id collected in
         t.wphase <-
@@ -75,9 +131,14 @@ let on_ts_reply t ~src ts =
   | _ -> ()
 
 let restart_write t ~value ~k =
-  Sbft_sim.Metrics.incr
-    (Sbft_sim.Engine.metrics (Network.engine t.net))
-    "client.write_retries";
+  Metrics.incr (metrics t) Names.client_write_retries;
+  (match t.wspan with
+  | Some span ->
+      let at = now t in
+      emit t
+        (Event.Op_phase { op_id = span.op; client = t.id; phase = "retry"; ticks = at - span.ph });
+      span.ph <- at
+  | None -> ());
   t.wphase <- W_collect { value; k; got = Hashtbl.create (t.cfg.n * 2) };
   List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t)
 
@@ -88,6 +149,19 @@ let on_write_ack t ~src ~ts ~ack =
       let n_acks = Hashtbl.length acks and n_nacks = Hashtbl.length nacks in
       if n_acks + n_nacks >= Config.quorum t.cfg then
         if n_acks >= Config.witness_threshold t.cfg then begin
+          (match t.wspan with
+          | Some span ->
+              emit t
+                (Event.Quorum_formed
+                   { op_id = span.op; client = t.id; phase = "ack"; size = n_acks });
+              ignore (phase_done t span ~hist:Names.write_commit_ticks ~phase:"commit");
+              let total = now t - span.t0 in
+              Metrics.record (metrics t) Names.write_total_ticks (float_of_int total);
+              emit t
+                (Event.Op_finished
+                   { op_id = span.op; client = t.id; kind = "write"; outcome = "ok"; ticks = total });
+              t.wspan <- None
+          | None -> ());
           t.wphase <- W_idle;
           t.write_ts <- Some wts;
           k ()
@@ -112,6 +186,13 @@ let send_read t ~label s =
   Network.send t.net ~src:t.id ~dst:s (Msg.Read_req { label })
 
 let start_reading t ~k ~label =
+  (match t.rspan with
+  | Some span ->
+      let safe_count = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 t.safe in
+      emit t
+        (Event.Quorum_formed { op_id = span.op; client = t.id; phase = "flush"; size = safe_count });
+      ignore (phase_done t span ~hist:Names.read_flush_ticks ~phase:"flush")
+  | None -> ());
   t.rphase <- R_read { k; label };
   List.iteri (fun s safe -> if safe then send_read t ~label s) (Array.to_list t.safe)
 
@@ -121,12 +202,16 @@ let check_flush_done t =
       if Read_labels.pending_count t.rl ~label <= t.cfg.f then start_reading t ~k ~label
   | _ -> ()
 
-let read t k =
+let read ?op_id t k =
   if t.rphase <> R_idle then invalid_arg "Client.read: read already in progress";
   Hashtbl.reset t.replies;
   Hashtbl.reset t.recent;
   Array.fill t.safe 0 (Array.length t.safe) false;
+  let span = fresh_span t ~op_id in
+  t.rspan <- Some span;
+  emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "read" });
   let label = Read_labels.choose t.rl in
+  emit t (Event.Epoch_changed { node = t.id; epoch = label; what = "read_label" });
   t.rphase <- R_flush { k; label };
   List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s (Msg.Flush { label })) (servers t);
   check_flush_done t
@@ -134,6 +219,22 @@ let read t k =
 let finish_read t ~k ~label outcome =
   t.rphase <- R_idle;
   (match outcome with Sbft_spec.History.Abort -> t.aborted <- t.aborted + 1 | _ -> ());
+  (match t.rspan with
+  | Some span ->
+      ignore (phase_done t span ~hist:Names.read_decide_ticks ~phase:"decide");
+      let total = now t - span.t0 in
+      let outcome_str, total_hist =
+        match outcome with
+        | Sbft_spec.History.Value _ -> ("value", Names.read_total_ticks)
+        | Sbft_spec.History.Abort -> ("abort", Names.read_abort_ticks)
+        | Sbft_spec.History.Incomplete -> ("incomplete", Names.read_abort_ticks)
+      in
+      Metrics.record (metrics t) total_hist (float_of_int total);
+      emit t
+        (Event.Op_finished
+           { op_id = span.op; client = t.id; kind = "read"; outcome = outcome_str; ticks = total });
+      t.rspan <- None
+  | None -> ());
   Array.iteri
     (fun s safe ->
       if safe then Network.send t.net ~src:t.id ~dst:s (Msg.Complete_read { label }))
@@ -222,7 +323,9 @@ let corrupt t rng =
 
 let abandon t =
   t.wphase <- W_idle;
-  t.rphase <- R_idle
+  t.rphase <- R_idle;
+  t.wspan <- None;
+  t.rspan <- None
 
 let create cfg sys net ~id =
   if Config.is_server cfg id then invalid_arg "Client.create: id is a server endpoint";
@@ -234,6 +337,9 @@ let create cfg sys net ~id =
       id;
       wphase = W_idle;
       rphase = R_idle;
+      wspan = None;
+      rspan = None;
+      op_seq = 0;
       rl = Read_labels.create ~servers:cfg.n ~pool:cfg.read_label_pool;
       safe = Array.make cfg.n false;
       replies = Hashtbl.create 16;

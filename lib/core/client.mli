@@ -36,13 +36,19 @@ val id : t -> int
 
 val busy : t -> bool
 
-val write : t -> value:int -> (unit -> unit) -> unit
+val write : ?op_id:int -> t -> value:int -> (unit -> unit) -> unit
 (** [write t ~value k] starts a write; [k] fires at completion.
-    Raises [Invalid_argument] if the client is busy. *)
+    Raises [Invalid_argument] if the client is busy.
 
-val read : t -> (read_outcome -> unit) -> unit
+    [op_id] names the operation's span in the event trace — {!System}
+    passes the history operation id so trace spans and checker
+    verdicts speak about the same operations.  Without it, a fresh
+    negative id is used. *)
+
+val read : ?op_id:int -> t -> (read_outcome -> unit) -> unit
 (** [read t k] starts a read; [k] fires with the returned value or
-    [Abort]. Raises [Invalid_argument] if the client is busy. *)
+    [Abort]. Raises [Invalid_argument] if the client is busy.
+    [op_id] as in {!write}. *)
 
 val last_write_ts : t -> Msg.ts option
 (** Timestamp of this client's last completed write (recorded into the

@@ -78,7 +78,8 @@ let notify_corruption t =
   t.last_corruption <- Engine.now (System.engine t.sys);
   t.stabilized_since <- None
 
-let retries t = Metrics.get (Engine.metrics (System.engine t.sys)) "client.write_retries"
+let retries t =
+  Metrics.get (Engine.metrics (System.engine t.sys)) Sbft_sim.Metric_names.client_write_retries
 
 let report (t : t) =
   {

@@ -2,6 +2,11 @@ module Network = Sbft_channel.Network
 module Mw_ts = Sbft_labels.Mw_ts
 module Sbls = Sbft_labels.Sbls
 module Rng = Sbft_sim.Rng
+module Engine = Sbft_sim.Engine
+module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
 
 type t = {
   cfg : Config.t;
@@ -52,6 +57,13 @@ let handle t ~src msg =
       t.value <- value;
       t.ts <- ts;
       t.writes_applied <- t.writes_applied + 1;
+      let engine = Network.engine t.net in
+      Metrics.incr (Engine.metrics engine)
+        (if ack then Names.server_label_adoptions else Names.server_label_rejections);
+      let tr = Engine.trace engine in
+      if Trace.enabled tr then
+        Trace.emit tr ~time:(Engine.now engine)
+          (Event.Label_adopted { server = t.id; writer = src; ack });
       Network.send t.net ~src:t.id ~dst:src (Msg.Write_ack { ts; ack });
       if t.cfg.forward_to_readers then
         Hashtbl.iter (fun client label -> reply_to_reader t ~client ~label) t.running_read

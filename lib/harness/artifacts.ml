@@ -1,0 +1,50 @@
+module J = Sbft_sim.Json
+module Metrics = Sbft_sim.Metrics
+
+let histogram_json (h : Metrics.hist_snapshot) =
+  let pct p = Stats.hist_percentile ~bounds:h.bounds ~counts:h.counts p in
+  J.Obj
+    [
+      ("count", J.Int h.count);
+      ("sum", J.Float h.sum);
+      ("min", J.Float h.min);
+      ("max", J.Float h.max);
+      ("mean", J.Float (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count));
+      ("p50", J.Float (pct 50.0));
+      ("p95", J.Float (pct 95.0));
+      ("p99", J.Float (pct 99.0));
+      ("bounds", J.List (Array.to_list (Array.map (fun b -> J.Float b) h.bounds)));
+      ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
+    ]
+
+let metrics_json ?(run = []) ?stabilization ?regularity ~metrics ~per_node () =
+  let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in
+  let histograms = List.map (fun (k, h) -> (k, histogram_json h)) (Metrics.histograms metrics) in
+  let nodes =
+    J.List
+      (List.mapi
+         (fun id (sent, delivered) ->
+           J.Obj [ ("id", J.Int id); ("sent", J.Int sent); ("delivered", J.Int delivered) ])
+         (Array.to_list per_node))
+  in
+  let base =
+    [ ("counters", J.Obj counters); ("histograms", J.Obj histograms); ("per_node", nodes) ]
+  in
+  let base =
+    match stabilization with
+    | Some probe -> base @ [ ("stabilization", Probe.to_json probe) ]
+    | None -> base
+  in
+  let base =
+    match regularity with
+    | Some (checked, violations) ->
+        base @ [ ("regularity", J.Obj [ ("checked", J.Int checked); ("violations", J.Int violations) ]) ]
+    | None -> base
+  in
+  J.Obj ((if run = [] then [] else [ ("run", J.Obj run) ]) @ base)
+
+let write_file ~path json =
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc

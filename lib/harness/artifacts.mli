@@ -1,0 +1,31 @@
+(** Machine-readable run artifacts: the [--metrics-out] snapshot.
+
+    One JSON object per run:
+    {v
+    { "run":           { ...caller-supplied parameters... },
+      "counters":      { "net.sent": 1234, ... },
+      "histograms":    { "op.write.total_ticks":
+                           { "count", "sum", "min", "max", "mean",
+                             "p50", "p95", "p99", "bounds", "counts" }, ... },
+      "per_node":      [ { "id", "sent", "delivered" }, ... ],
+      "stabilization": { "corruption_tick", "last_abort",
+                         "first_clean_read", "convergence_ticks" },
+      "regularity":    { "checked", "violations" } }
+    v}
+    Metric names are the registry's ({!Sbft_sim.Metric_names});
+    histogram percentiles are nearest-rank over the fixed buckets
+    ({!Stats.hist_percentile}). *)
+
+val histogram_json : Sbft_sim.Metrics.hist_snapshot -> Sbft_sim.Json.t
+
+val metrics_json :
+  ?run:(string * Sbft_sim.Json.t) list ->
+  ?stabilization:Probe.report ->
+  ?regularity:int * int ->
+  metrics:Sbft_sim.Metrics.t ->
+  per_node:(int * int) array ->
+  unit ->
+  Sbft_sim.Json.t
+(** [regularity] is [(checked, violations)]. *)
+
+val write_file : path:string -> Sbft_sim.Json.t -> unit

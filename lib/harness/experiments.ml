@@ -866,7 +866,7 @@ let e17_full_stack () =
         rlat := Array.to_list r @ !rlat;
         let m = Engine.metrics (System.engine sys) in
         pkts :=
-          !pkts + Sbft_sim.Metrics.get m "dl.transmissions" + Sbft_sim.Metrics.get m "dl.acks")
+          !pkts + Sbft_sim.Metrics.get m Sbft_sim.Metric_names.dl_transmissions + Sbft_sim.Metrics.get m Sbft_sim.Metric_names.dl_acks)
       seeds;
     let w = Stats.summarize (Array.of_list !wlat) and r = Stats.summarize (Array.of_list !rlat) in
     [
@@ -891,7 +891,7 @@ let e17_full_stack () =
         let w, r = reg.op_latencies () in
         wlat := Array.to_list w @ !wlat;
         rlat := Array.to_list r @ !rlat;
-        pkts := !pkts + Sbft_sim.Metrics.get (Engine.metrics (System.engine sys)) "net.delivered")
+        pkts := !pkts + Sbft_sim.Metrics.get (Engine.metrics (System.engine sys)) Sbft_sim.Metric_names.net_delivered)
       seeds;
     let w = Stats.summarize (Array.of_list !wlat) and r = Stats.summarize (Array.of_list !rlat) in
     [
@@ -969,7 +969,7 @@ let e18_kv_store () =
         checked := !checked + c;
         viol := !viol + v;
         wall := !wall + Sbft_sim.Engine.now engine;
-        msgs := !msgs + Sbft_sim.Metrics.get (Sbft_sim.Engine.metrics engine) "net.sent";
+        msgs := !msgs + Sbft_sim.Metrics.get (Sbft_sim.Engine.metrics engine) Sbft_sim.Metric_names.net_sent;
         ops := !ops + Store.ops_issued kv)
       seeds;
     [

@@ -1,0 +1,39 @@
+(** Post-mortem for regularity violations: the implicated operations,
+    their happened-before relation, and the trace window they span.
+
+    When the checker flags a history, a counter saying "1 violation"
+    is where debugging {e starts}; what one actually needs is the
+    causally-ordered event log of exactly the operations involved.
+    Violations carry the implicated operation ids
+    ({!Sbft_spec.Regularity.violation}[.ops]), operation events carry
+    the same ids ({!Sbft_sim.Event}), so the dump can slice the trace
+    ring to the window [\[min inv, max resp\]] of those operations and
+    print, per violation:
+
+    - each implicated operation with its client and real-time interval;
+    - every happened-before edge between them (A → B iff A responded
+      before B was invoked, the paper's precedence), concurrency made
+      explicit;
+    - the retained trace events in the window, filtered to the
+      implicated spans plus every non-operation event (messages,
+      faults) that fired inside it. *)
+
+val dump_violation :
+  Format.formatter ->
+  trace:Sbft_sim.Trace.t ->
+  history:'ts Sbft_spec.History.t ->
+  Sbft_spec.Regularity.violation ->
+  unit
+
+val dump :
+  Format.formatter ->
+  trace:Sbft_sim.Trace.t ->
+  history:'ts Sbft_spec.History.t ->
+  Sbft_spec.Regularity.violation list ->
+  unit
+
+val dump_string :
+  trace:Sbft_sim.Trace.t ->
+  history:'ts Sbft_spec.History.t ->
+  Sbft_spec.Regularity.violation list ->
+  string

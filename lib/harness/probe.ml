@@ -1,0 +1,60 @@
+module History = Sbft_spec.History
+
+type report = {
+  corruption_tick : int;
+  last_abort : int option;
+  first_clean_read : int option;
+  convergence : int option;
+}
+
+let analyze ?(corruption = 0) (h : 'ts History.t) =
+  (* Last abort at or after the corruption: the end of the transitory
+     phase as the clients experienced it. *)
+  let last_abort =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | History.Read { resp = Some resp; outcome = History.Abort; _ } when resp >= corruption ->
+            Some (match acc with None -> resp | Some a -> max a resp)
+        | _ -> acc)
+      None (History.ops h)
+  in
+  (* First clean regular read: invoked after both the corruption and
+     the last abort, returned a value.  Reads invoked before the dust
+     settled don't witness convergence even if they happened to
+     succeed. *)
+  let floor = match last_abort with None -> corruption | Some a -> max corruption a in
+  let first_clean_read =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | History.Read { inv; resp = Some resp; outcome = History.Value _; _ }
+          when inv >= floor ->
+            Some (match acc with None -> resp | Some a -> min a resp)
+        | _ -> acc)
+      None (History.ops h)
+  in
+  {
+    corruption_tick = corruption;
+    last_abort;
+    first_clean_read;
+    convergence = Option.map (fun t -> t - corruption) first_clean_read;
+  }
+
+let to_json r =
+  let opt = function None -> Sbft_sim.Json.Null | Some v -> Sbft_sim.Json.Int v in
+  Sbft_sim.Json.Obj
+    [
+      ("corruption_tick", Sbft_sim.Json.Int r.corruption_tick);
+      ("last_abort", opt r.last_abort);
+      ("first_clean_read", opt r.first_clean_read);
+      ("convergence_ticks", opt r.convergence);
+    ]
+
+let pp fmt r =
+  let opt fmt = function
+    | None -> Format.pp_print_char fmt '-'
+    | Some v -> Format.pp_print_int fmt v
+  in
+  Format.fprintf fmt "corruption@%d last-abort@%a first-clean-read@%a convergence=%a"
+    r.corruption_tick opt r.last_abort opt r.first_clean_read opt r.convergence

@@ -1,0 +1,32 @@
+(** Stabilization probe: how long after a transient fault did the
+    register converge?
+
+    The paper's convergence claim is temporal — after the last
+    corruption there is a transitory phase in which reads may abort,
+    and a suffix in which the register is regular again.  The probe
+    reduces a run's history to the three ticks that describe that
+    shape:
+
+    - the corruption tick (supplied by the caller — the fault plan or
+      the CLI knows when it struck);
+    - the last aborted read completing at or after it;
+    - the first {e clean} read: invoked after both, returned a value.
+
+    [convergence] is first-clean-read minus corruption, the figure the
+    transient-recovery experiments report. *)
+
+type report = {
+  corruption_tick : int;
+  last_abort : int option;  (** [None]: no read aborted after the fault *)
+  first_clean_read : int option;  (** [None]: no read survived after the dust settled *)
+  convergence : int option;  (** [first_clean_read - corruption_tick] *)
+}
+
+val analyze : ?corruption:int -> 'ts Sbft_spec.History.t -> report
+(** [corruption] defaults to 0 (fault at the start of the run, the
+    [--corrupt] scenario).  With several corruption events, pass the
+    last one. *)
+
+val to_json : report -> Sbft_sim.Json.t
+
+val pp : Format.formatter -> report -> unit

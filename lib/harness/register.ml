@@ -108,7 +108,7 @@ let core sys =
     aborted_reads = (fun () -> History.aborted_reads h);
     completed_writes = (fun () -> completed_writes h);
     first_write_completion = (fun () -> first_write_completion h);
-    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) Sbft_sim.Metric_names.net_sent);
     max_ts_bits = (fun () -> Sbft_labels.Sbls.size_bits sbls);
   }
 
@@ -139,7 +139,7 @@ let abd ~n ~f ~clients sys =
     aborted_reads = (fun () -> History.aborted_reads h);
     completed_writes = (fun () -> completed_writes h);
     first_write_completion = (fun () -> first_write_completion h);
-    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) Sbft_sim.Metric_names.net_sent);
     max_ts_bits = (fun () -> unbounded_bits (A.max_ts sys));
   }
 
@@ -166,7 +166,7 @@ let mr_safe ~n ~f ~clients sys =
     aborted_reads = (fun () -> History.aborted_reads h);
     completed_writes = (fun () -> completed_writes h);
     first_write_completion = (fun () -> first_write_completion h);
-    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) Sbft_sim.Metric_names.net_sent);
     max_ts_bits = (fun () -> unbounded_bits (M.max_ts sys));
   }
 
@@ -193,6 +193,6 @@ let kanjani ~n ~f ~clients sys =
     aborted_reads = (fun () -> History.aborted_reads h);
     completed_writes = (fun () -> completed_writes h);
     first_write_completion = (fun () -> first_write_completion h);
-    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) "net.sent");
+    messages_sent = (fun () -> Metrics.get (Engine.metrics engine) Sbft_sim.Metric_names.net_sent);
     max_ts_bits = (fun () -> unbounded_bits (K.max_ts sys));
   }

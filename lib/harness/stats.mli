@@ -7,6 +7,7 @@ type summary = {
   min : float;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
 }
 
@@ -16,8 +17,21 @@ val summarize : float array -> summary
 val mean : float array -> float
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [\[0, 100\]], nearest-rank on a sorted
-    copy. *)
+(** [percentile xs p] with [p] in [\[0, 100\]], nearest-rank on a
+    sorted copy.  Edge behavior is explicit, not an artifact of
+    clamping: [p <= 0] returns the minimum (nearest-rank would demand
+    rank 0, which does not exist — the minimum is the only sensible
+    answer), [p >= 100] returns the maximum, and the empty array
+    yields 0. *)
+
+val hist_percentile : bounds:float array -> counts:int array -> float -> float
+(** Nearest-rank percentile over fixed-bucket histogram counts (see
+    {!Sbft_sim.Metrics.hist_snapshot}): walks the cumulative counts
+    and returns the upper bound of the bucket holding the ranked
+    sample.  Samples landing in the overflow bucket clamp to the last
+    finite bound.  Resolution is therefore one bucket — exact enough
+    for the geometric tick buckets the instrumentation uses.  Empty
+    histograms yield 0. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -37,4 +37,16 @@ let to_csv t =
   let line row = String.concat "," (List.map quote row) in
   String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
 
+let to_json t =
+  let module J = Sbft_sim.Json in
+  let cell s = J.String s in
+  J.Obj
+    [
+      ("id", J.String t.id);
+      ("title", J.String t.title);
+      ("header", J.List (List.map cell t.header));
+      ("rows", J.List (List.map (fun row -> J.List (List.map cell row)) t.rows));
+      ("notes", J.List (List.map cell t.notes));
+    ]
+
 let print t = render Format.std_formatter t

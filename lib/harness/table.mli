@@ -18,5 +18,9 @@ val render : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 
+val to_json : t -> Sbft_sim.Json.t
+(** Machine-readable form for [--metrics-out]: cells stay strings,
+    exactly as rendered. *)
+
 val print : t -> unit
 (** [render] to stdout. *)

@@ -122,6 +122,6 @@ let keys_touched t =
 let ops_issued t = t.ops
 
 let pp_stats fmt t =
-  let msgs = Sbft_sim.Metrics.get (Engine.metrics t.engine) "net.sent" in
+  let msgs = Sbft_sim.Metrics.get (Engine.metrics t.engine) Sbft_sim.Metric_names.net_sent in
   Format.fprintf fmt "shards=%d keys=%d ops=%d messages=%d vtime=%d" t.shards
     (Hashtbl.length t.systems) t.ops msgs (Engine.now t.engine)

@@ -1,0 +1,113 @@
+type t =
+  | Msg_sent of { src : int; dst : int; kind : string }
+  | Msg_delivered of { src : int; dst : int; kind : string }
+  | Msg_dropped of { src : int; dst : int; kind : string; reason : string }
+  | Retransmit of { label : int }
+  | Ack_roundtrip of { label : int; ticks : int }
+  | Quorum_formed of { op_id : int; client : int; phase : string; size : int }
+  | Label_adopted of { server : int; writer : int; ack : bool }
+  | Epoch_changed of { node : int; epoch : int; what : string }
+  | Fault_injected of { desc : string }
+  | Op_started of { op_id : int; client : int; kind : string }
+  | Op_phase of { op_id : int; client : int; phase : string; ticks : int }
+  | Op_finished of { op_id : int; client : int; kind : string; outcome : string; ticks : int }
+  | Violation of { op_id : int; kind : string; detail : string }
+  | Note of { detail : string }
+
+let op_id = function
+  | Quorum_formed { op_id; _ }
+  | Op_started { op_id; _ }
+  | Op_phase { op_id; _ }
+  | Op_finished { op_id; _ }
+  | Violation { op_id; _ } ->
+      Some op_id
+  | Msg_sent _ | Msg_delivered _ | Msg_dropped _ | Retransmit _ | Ack_roundtrip _
+  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Note _ ->
+      None
+
+let endpoints = function
+  | Msg_sent { src; dst; _ } | Msg_delivered { src; dst; _ } | Msg_dropped { src; dst; _ } ->
+      [ src; dst ]
+  | Quorum_formed { client; _ }
+  | Op_started { client; _ }
+  | Op_phase { client; _ }
+  | Op_finished { client; _ } ->
+      [ client ]
+  | Label_adopted { server; writer; _ } -> [ server; writer ]
+  | Epoch_changed { node; _ } -> [ node ]
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ -> []
+
+let name = function
+  | Msg_sent _ -> "msg_sent"
+  | Msg_delivered _ -> "msg_delivered"
+  | Msg_dropped _ -> "msg_dropped"
+  | Retransmit _ -> "retransmit"
+  | Ack_roundtrip _ -> "ack_roundtrip"
+  | Quorum_formed _ -> "quorum_formed"
+  | Label_adopted _ -> "label_adopted"
+  | Epoch_changed _ -> "epoch_changed"
+  | Fault_injected _ -> "fault_injected"
+  | Op_started _ -> "op_started"
+  | Op_phase _ -> "op_phase"
+  | Op_finished _ -> "op_finished"
+  | Violation _ -> "violation"
+  | Note _ -> "note"
+
+let to_json ~time ev =
+  let base rest = Json.Obj (("t", Json.Int time) :: ("ev", Json.String (name ev)) :: rest) in
+  let s v = Json.String v and i v = Json.Int v in
+  match ev with
+  | Msg_sent { src; dst; kind } -> base [ ("src", i src); ("dst", i dst); ("kind", s kind) ]
+  | Msg_delivered { src; dst; kind } -> base [ ("src", i src); ("dst", i dst); ("kind", s kind) ]
+  | Msg_dropped { src; dst; kind; reason } ->
+      base [ ("src", i src); ("dst", i dst); ("kind", s kind); ("reason", s reason) ]
+  | Retransmit { label } -> base [ ("label", i label) ]
+  | Ack_roundtrip { label; ticks } -> base [ ("label", i label); ("ticks", i ticks) ]
+  | Quorum_formed { op_id; client; phase; size } ->
+      base [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("size", i size) ]
+  | Label_adopted { server; writer; ack } ->
+      base [ ("server", i server); ("writer", i writer); ("ack", Json.Bool ack) ]
+  | Epoch_changed { node; epoch; what } ->
+      base [ ("node", i node); ("epoch", i epoch); ("what", s what) ]
+  | Fault_injected { desc } -> base [ ("desc", s desc) ]
+  | Op_started { op_id; client; kind } ->
+      base [ ("op_id", i op_id); ("client", i client); ("kind", s kind) ]
+  | Op_phase { op_id; client; phase; ticks } ->
+      base [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("ticks", i ticks) ]
+  | Op_finished { op_id; client; kind; outcome; ticks } ->
+      base
+        [
+          ("op_id", i op_id);
+          ("client", i client);
+          ("kind", s kind);
+          ("outcome", s outcome);
+          ("ticks", i ticks);
+        ]
+  | Violation { op_id; kind; detail } ->
+      base [ ("op_id", i op_id); ("kind", s kind); ("detail", s detail) ]
+  | Note { detail } -> base [ ("detail", s detail) ]
+
+let pp fmt = function
+  | Msg_sent { src; dst; kind } -> Format.fprintf fmt "send %d->%d %s" src dst kind
+  | Msg_delivered { src; dst; kind } -> Format.fprintf fmt "deliver %d->%d %s" src dst kind
+  | Msg_dropped { src; dst; kind; reason } ->
+      Format.fprintf fmt "drop %d->%d %s (%s)" src dst kind reason
+  | Retransmit { label } -> Format.fprintf fmt "retransmit l%d" label
+  | Ack_roundtrip { label; ticks } -> Format.fprintf fmt "ack-rtt l%d %d ticks" label ticks
+  | Quorum_formed { op_id; client; phase; size } ->
+      Format.fprintf fmt "quorum op=%d c%d %s size=%d" op_id client phase size
+  | Label_adopted { server; writer; ack } ->
+      Format.fprintf fmt "s%d adopts label from c%d (%s)" server writer
+        (if ack then "ACK" else "NACK")
+  | Epoch_changed { node; epoch; what } -> Format.fprintf fmt "%d %s epoch -> %d" node what epoch
+  | Fault_injected { desc } -> Format.fprintf fmt "FAULT %s" desc
+  | Op_started { op_id; client; kind } -> Format.fprintf fmt "op=%d c%d %s start" op_id client kind
+  | Op_phase { op_id; client; phase; ticks } ->
+      Format.fprintf fmt "op=%d c%d phase %s done in %d" op_id client phase ticks
+  | Op_finished { op_id; client; kind; outcome; ticks } ->
+      Format.fprintf fmt "op=%d c%d %s -> %s in %d" op_id client kind outcome ticks
+  | Violation { op_id; kind; detail } ->
+      Format.fprintf fmt "VIOLATION op=%d [%s] %s" op_id kind detail
+  | Note { detail } -> Format.pp_print_string fmt detail
+
+let to_string ev = Format.asprintf "%a" pp ev

@@ -1,0 +1,58 @@
+(** The typed event vocabulary of the observability layer.
+
+    Every layer of the stack narrates itself in these terms: the
+    network (message lifecycle), the data-link (retransmissions, ack
+    round-trips), the protocol automata (operation spans, quorums,
+    label adoptions), the fault injector and the checkers.  Events are
+    plain data — ints and strings only — so this module sits at the
+    bottom of the dependency order and every tier can emit them.
+
+    The [op_id] carried by operation events is the {e history}
+    operation id ({!Sbft_spec.History}), so a trace slices directly
+    against checker verdicts: a regularity violation names the same ids
+    the [Op_started]/[Op_finished] events do.
+
+    Event names and payload fields are part of the machine-readable
+    artifact format; see DESIGN.md "Observability". *)
+
+type t =
+  | Msg_sent of { src : int; dst : int; kind : string }
+  | Msg_delivered of { src : int; dst : int; kind : string }
+  | Msg_dropped of { src : int; dst : int; kind : string; reason : string }
+      (** [reason]: ["crashed"], ["tampered"], ["no_handler"]. *)
+  | Retransmit of { label : int }  (** data-link timer refire *)
+  | Ack_roundtrip of { label : int; ticks : int }
+      (** data-link packet fully acknowledged, first transmit to last ack *)
+  | Quorum_formed of { op_id : int; client : int; phase : string; size : int }
+  | Label_adopted of { server : int; writer : int; ack : bool }
+      (** server overwrote its ⟨value, ts⟩ pair; [ack] is whether the
+          incoming timestamp dominated (Figure 1b adopts either way) *)
+  | Epoch_changed of { node : int; epoch : int; what : string }
+      (** bounded-name reuse rolled over, e.g. a reader picked read
+          label [epoch] ([what = "read_label"]) *)
+  | Fault_injected of { desc : string }
+  | Op_started of { op_id : int; client : int; kind : string }  (** [kind]: write/read *)
+  | Op_phase of { op_id : int; client : int; phase : string; ticks : int }
+      (** phase completed after [ticks] of virtual time; phases are
+          ["collect"]/["commit"]/["retry"] for writes and
+          ["flush"]/["decide"] for reads *)
+  | Op_finished of { op_id : int; client : int; kind : string; outcome : string; ticks : int }
+  | Violation of { op_id : int; kind : string; detail : string }
+  | Note of { detail : string }  (** free-form escape hatch ({!Trace.log}) *)
+
+val op_id : t -> int option
+(** The operation this event belongs to, for span slicing. *)
+
+val endpoints : t -> int list
+(** Endpoints mentioned by the event (empty when none). *)
+
+val name : t -> string
+(** Stable snake_case constructor name, the ["ev"] field of the JSON
+    encoding. *)
+
+val to_json : time:int -> t -> Json.t
+(** One JSONL record: [{"t": time, "ev": name, ...payload}]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The run artifacts ([--trace-out] JSONL, [--metrics-out] snapshots)
+    are plain JSON, and the container has no JSON library — this is
+    the small closed-world implementation they share.  The emitter
+    escapes control characters; the parser accepts exactly what the
+    emitter produces (plus whitespace), which is all the tests need to
+    verify the artifacts parse back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no newlines), suitable for one-line-per-record
+    JSONL streams. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; [Error] carries the offset of the
+    first problem. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)

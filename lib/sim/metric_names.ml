@@ -1,0 +1,88 @@
+(* The single home of every metric name in the tree.  Instrumentation
+   sites refer to these bindings, never to string literals — a lint in
+   the test suite (test_metric_names.ml) fails the build when a raw
+   ["..."] reappears next to a Metrics call outside this module. *)
+
+(* -- counters ------------------------------------------------------- *)
+
+let net_sent = "net.sent"
+
+let net_delivered = "net.delivered"
+
+let net_dropped = "net.dropped"
+
+let net_parked = "net.parked"
+
+let net_injected = "net.injected"
+
+let net_sent_kind_prefix = "net.sent."
+(* Suffixed with the classifier's constructor name: net.sent.write_req … *)
+
+let dl_transmissions = "dl.transmissions"
+
+let dl_retransmissions = "dl.retransmissions"
+
+let dl_acks = "dl.acks"
+
+let client_write_retries = "client.write_retries"
+
+let server_label_adoptions = "server.label_adoptions"
+
+let server_label_rejections = "server.label_rejections"
+
+let faults_injected = "faults.injected"
+
+(* -- histograms (virtual-tick latencies) --------------------------- *)
+
+let write_collect_ticks = "op.write.collect_ticks"
+
+let write_commit_ticks = "op.write.commit_ticks"
+
+let write_total_ticks = "op.write.total_ticks"
+
+let read_flush_ticks = "op.read.flush_ticks"
+
+let read_decide_ticks = "op.read.decide_ticks"
+
+let read_total_ticks = "op.read.total_ticks"
+
+let read_abort_ticks = "op.read.abort_ticks"
+
+let dl_ack_rtt_ticks = "dl.ack_rtt_ticks"
+
+(* -- registry ------------------------------------------------------- *)
+
+type kind = Counter | Histogram | Prefix
+
+let all =
+  [
+    (net_sent, Counter, "messages accepted by Network.send");
+    (net_delivered, Counter, "messages handed to a registered handler");
+    (net_dropped, Counter, "messages lost to crash, tamper or missing handler");
+    (net_parked, Counter, "sends withheld by an active partition");
+    (net_injected, Counter, "forged messages placed in channels");
+    (net_sent_kind_prefix, Prefix, "per-constructor send counts (suffix = Msg.classify)");
+    (dl_transmissions, Counter, "data-link packets put on the wire (incl. retransmits)");
+    (dl_retransmissions, Counter, "data-link timer refires of the in-flight packet");
+    (dl_acks, Counter, "data-link acks sent by receivers");
+    (client_write_retries, Counter, "writes that re-timestamped and restarted");
+    (server_label_adoptions, Counter, "WRITE requests whose timestamp dominated (ACK)");
+    (server_label_rejections, Counter, "WRITE requests adopted on NACK (Figure 1b)");
+    (faults_injected, Counter, "fault-plan events fired");
+    (write_collect_ticks, Histogram, "write phase 1: GET_TS to timestamp quorum");
+    (write_commit_ticks, Histogram, "write phase 2: WRITE broadcast to ack decision");
+    (write_total_ticks, Histogram, "write invocation to response");
+    (read_flush_ticks, Histogram, "read phase 1: FLUSH to label safety (find_read_label)");
+    (read_decide_ticks, Histogram, "read phase 2: READ broadcast to WTSG decision");
+    (read_total_ticks, Histogram, "read invocation to response, value outcomes");
+    (read_abort_ticks, Histogram, "read invocation to response, abort outcomes");
+    (dl_ack_rtt_ticks, Histogram, "data-link packet first transmit to full acknowledgment");
+  ]
+
+let mem name =
+  List.exists
+    (fun (n, k, _) ->
+      match k with
+      | Prefix -> String.length name >= String.length n && String.sub name 0 (String.length n) = n
+      | Counter | Histogram -> n = name)
+    all

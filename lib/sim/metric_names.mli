@@ -1,0 +1,63 @@
+(** Registry of every metric name used by the instrumentation.
+
+    Call sites must use these bindings instead of inline string
+    literals: the names are part of the machine-readable artifact
+    format ([--metrics-out]) and the registry's doc strings are the
+    format's documentation.  A source lint in the test suite keeps the
+    tree honest. *)
+
+val net_sent : string
+
+val net_delivered : string
+
+val net_dropped : string
+
+val net_parked : string
+
+val net_injected : string
+
+val net_sent_kind_prefix : string
+(** Prefix for per-message-kind send counters; the suffix is the
+    network's classifier output (e.g. [net.sent.write_req]). *)
+
+val dl_transmissions : string
+
+val dl_retransmissions : string
+
+val dl_acks : string
+
+val client_write_retries : string
+
+val server_label_adoptions : string
+
+val server_label_rejections : string
+
+val faults_injected : string
+
+(** Histogram names record virtual-tick latencies via
+    {!Metrics.record}. *)
+
+val write_collect_ticks : string
+
+val write_commit_ticks : string
+
+val write_total_ticks : string
+
+val read_flush_ticks : string
+
+val read_decide_ticks : string
+
+val read_total_ticks : string
+
+val read_abort_ticks : string
+
+val dl_ack_rtt_ticks : string
+
+type kind = Counter | Histogram | Prefix
+
+val all : (string * kind * string) list
+(** [(name-or-prefix, kind, doc)] for every registered metric. *)
+
+val mem : string -> bool
+(** Whether a concrete metric name is covered by the registry (exact
+    match, or extends a registered prefix). *)

@@ -1,11 +1,40 @@
 type series = { mutable buf : float array; mutable len : int }
 
+type hist = {
+  bounds : float array; (* strictly increasing upper bounds; overflow bucket implicit *)
+  hcounts : int array; (* length = Array.length bounds + 1 *)
+  mutable total : int;
+  mutable sum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+(* Geometric tick buckets: 1, 2, 4, … 2^19 cover everything a
+   discrete-event run at delay ≤ tens of ticks can produce; the
+   overflow bucket catches the rest. *)
+let default_bounds = Array.init 20 (fun i -> Float.of_int (1 lsl i))
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   observations : (string, series) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; observations = Hashtbl.create 8 }
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    observations = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
 
 let slot t name =
   match Hashtbl.find_opt t.counters name with
@@ -46,10 +75,60 @@ let series t name =
   | Some s -> Array.sub s.buf 0 s.len
   | None -> [||]
 
+let hist_slot t ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          bounds;
+          hcounts = Array.make (Array.length bounds + 1) 0;
+          total = 0;
+          sum = 0.0;
+          hmin = Float.infinity;
+          hmax = Float.neg_infinity;
+        }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+
+let bucket_of bounds v =
+  (* First bucket whose upper bound admits v; linear scan is fine for
+     ~20 buckets and keeps the hot path allocation-free. *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let record ?bounds t name v =
+  let h = hist_slot t ?bounds name in
+  let b = bucket_of h.bounds v in
+  h.hcounts.(b) <- h.hcounts.(b) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+let snapshot (h : hist) =
+  {
+    bounds = Array.copy h.bounds;
+    counts = Array.copy h.hcounts;
+    count = h.total;
+    sum = h.sum;
+    min = (if h.total = 0 then 0.0 else h.hmin);
+    max = (if h.total = 0 then 0.0 else h.hmax);
+  }
+
+let histogram t name = Option.map snapshot (Hashtbl.find_opt t.histograms name)
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, snapshot h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.observations
+  Hashtbl.reset t.observations;
+  Hashtbl.reset t.histograms

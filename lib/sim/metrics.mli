@@ -1,8 +1,11 @@
-(** Named monotone counters and value series for a simulation run.
+(** Named monotone counters, value series and fixed-bucket histograms
+    for a simulation run.
 
     Cheap enough to leave enabled everywhere: counters are hashtable
-    slots, series are growable float buffers.  Experiments read them
-    back at the end of a run to build tables. *)
+    slots, series are growable float buffers, and histogram recording
+    is a ~20-element scan with no allocation.  Experiments read them
+    back at the end of a run to build tables; [--metrics-out]
+    serializes the whole snapshot. *)
 
 type t
 
@@ -25,5 +28,34 @@ val series : t -> string -> float array
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
+
+(** {2 Histograms}
+
+    Fixed buckets keep long runs O(1) per sample where a series would
+    grow without bound — the per-operation phase latencies use these.
+    Percentiles are extracted from the bucket counts by
+    {!Sbft_harness.Stats.hist_percentile}. *)
+
+type hist_snapshot = {
+  bounds : float array;  (** bucket upper bounds, strictly increasing *)
+  counts : int array;  (** length = [bounds] + 1; last is the overflow bucket *)
+  count : int;
+  sum : float;
+  min : float;  (** 0 when empty *)
+  max : float;  (** 0 when empty *)
+}
+
+val default_bounds : float array
+(** Geometric: 1, 2, 4, … 2^19 virtual ticks. *)
+
+val record : ?bounds:float array -> t -> string -> float -> unit
+(** [record t name v] adds [v] to histogram [name], creating it (with
+    [bounds], default {!default_bounds}) on first use.  [bounds] is
+    ignored on later calls. *)
+
+val histogram : t -> string -> hist_snapshot option
+
+val histograms : t -> (string * hist_snapshot) list
+(** All histograms, sorted by name. *)
 
 val reset : t -> unit

@@ -1,22 +1,41 @@
+type sink = time:int -> Event.t -> unit
+
 type t = {
   enabled : bool;
   capacity : int;
-  ring : (int * string) array;
+  ring : (int * Event.t) array;
   mutable next : int;
   mutable count : int;
+  mutable sinks : sink list;
 }
 
+let nothing = Event.Note { detail = "" }
+
 let create ?(capacity = 4096) ~enabled () =
-  { enabled; capacity; ring = Array.make (max 1 capacity) (0, ""); next = 0; count = 0 }
+  {
+    enabled;
+    capacity = max 1 capacity;
+    ring = Array.make (max 1 capacity) (0, nothing);
+    next = 0;
+    count = 0;
+    sinks = [];
+  }
 
 let enabled t = t.enabled
 
-let log t ~time msg =
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let emit t ~time ev =
   if t.enabled then begin
-    t.ring.(t.next) <- (time, msg);
+    t.ring.(t.next) <- (time, ev);
     t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1
+    if t.count < t.capacity then t.count <- t.count + 1;
+    match t.sinks with
+    | [] -> ()
+    | sinks -> List.iter (fun sink -> sink ~time ev) sinks
   end
+
+let log t ~time msg = if t.enabled then emit t ~time (Event.Note { detail = msg })
 
 let logf t ~time fmt =
   if t.enabled then Format.kasprintf (fun s -> log t ~time s) fmt
@@ -30,5 +49,12 @@ let entries t =
   done;
   List.rev !out
 
+let window t ~from_time ~until =
+  List.filter (fun (time, _) -> time >= from_time && time <= until) (entries t)
+
 let dump t fmt =
-  List.iter (fun (time, msg) -> Format.fprintf fmt "[%d] %s@." time msg) (entries t)
+  List.iter (fun (time, ev) -> Format.fprintf fmt "[%d] %a@." time Event.pp ev) (entries t)
+
+let jsonl_sink oc ~time ev =
+  output_string oc (Json.to_string (Event.to_json ~time ev));
+  output_char oc '\n'

@@ -1,26 +1,49 @@
-(** Bounded in-memory event trace.
+(** Typed event trace: bounded in-memory ring plus pluggable sinks.
 
-    When enabled, protocol layers log one line per interesting event
-    (message delivery, state transition, fault injection).  The buffer
-    is a ring: only the most recent [capacity] entries are retained, so
-    tracing long runs stays O(capacity).  Disabled traces cost one
-    branch per call. *)
+    When enabled, protocol layers emit one {!Event.t} per interesting
+    moment (message lifecycle, operation phase, fault injection).  The
+    ring retains only the most recent [capacity] events, so tracing
+    long runs stays O(capacity); sinks additionally see {e every}
+    event as it happens, which is how [--trace-out] streams an
+    unbounded JSONL file while the ring stays small for forensics.
+
+    Disabled traces cost one branch per call: [emit] tests [enabled]
+    before touching anything, and hot paths should guard event
+    construction behind {!enabled} so the payload is never allocated. *)
 
 type t
+
+type sink = time:int -> Event.t -> unit
+(** Sinks run synchronously on each emit (enabled traces only) and
+    must not emit events themselves. *)
 
 val create : ?capacity:int -> enabled:bool -> unit -> t
 (** [capacity] defaults to 4096 entries. *)
 
 val enabled : t -> bool
 
+val add_sink : t -> sink -> unit
+
+val emit : t -> time:int -> Event.t -> unit
+(** Record a typed event (no-op when disabled).  Callers on hot paths
+    should check {!enabled} first to avoid building the event. *)
+
 val log : t -> time:int -> string -> unit
-(** Record an entry (no-op when disabled). Use [logf] for formatting. *)
+(** Record a free-form {!Event.Note} (no-op when disabled). *)
 
 val logf : t -> time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the message is only built when tracing is on. *)
+(** Formatted {!log}; the message is only built when tracing is on. *)
 
-val entries : t -> (int * string) list
-(** Retained entries, oldest first. *)
+val entries : t -> (int * Event.t) list
+(** Retained events, oldest first. *)
+
+val window : t -> from_time:int -> until:int -> (int * Event.t) list
+(** Retained events with [from_time <= t <= until], oldest first. *)
 
 val dump : t -> Format.formatter -> unit
-(** Print all retained entries, one per line, as ["[%d] %s"]. *)
+(** Print all retained events, one per line, as ["[%d] %a"]. *)
+
+val jsonl_sink : out_channel -> sink
+(** A sink that writes each event as one JSON line (see
+    {!Event.to_json}).  The caller owns the channel: flush/close it
+    after the run. *)

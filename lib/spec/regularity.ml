@@ -2,6 +2,7 @@ type violation = {
   read_id : int;
   kind : [ `Stale | `Future | `Unwritten | `Inversion of int | `Order ];
   detail : string;
+  ops : int list; (* every operation id implicated, for trace forensics *)
 }
 
 type report = { checked_reads : int; skipped_reads : int; violations : violation list }
@@ -54,6 +55,7 @@ let order_violations ~after ~ts_prec writes =
                         "isolated consecutive writes %d (value %d) then %d (value %d) have reversed \
                          protocol timestamps"
                         a.wid a.value b.wid b.value;
+                    ops = [ a.wid; b.wid ];
                   }
                   :: !out
             | _ -> ())
@@ -75,7 +77,10 @@ let check ?(after = 0) ~ts_prec h =
     writes;
   let checked = ref 0 and skipped = ref 0 in
   let violations = ref (List.rev (order_violations ~after ~ts_prec writes)) in
-  let flag read_id kind detail = violations := { read_id; kind; detail } :: !violations in
+  let flag ?(also = []) read_id kind detail =
+    let ops = if read_id >= 0 then read_id :: also else also in
+    violations := { read_id; kind; detail; ops } :: !violations
+  in
   let checked_reads = ref [] in
   List.iter
     (function
@@ -91,7 +96,7 @@ let check ?(after = 0) ~ts_prec h =
               | Some w -> (
                   checked_reads := { rid = r.id; rv = v; rinv = r.inv; rresp = r_resp } :: !checked_reads;
                   if w.inv > r_resp then
-                    flag r.id `Future
+                    flag ~also:[ w.wid ] r.id `Future
                       (Printf.sprintf "read %d returned value %d written by a later write" r.id v)
                   else
                     match w.resp with
@@ -103,7 +108,7 @@ let check ?(after = 0) ~ts_prec h =
                             match w'.resp with
                             | Some w'_resp
                               when w'.wid <> w.wid && w'_resp < r.inv && w_resp < w'.inv ->
-                                flag r.id `Stale
+                                flag ~also:[ w.wid; w'.wid ] r.id `Stale
                                   (Printf.sprintf
                                      "read %d returned value %d but write of %d started after that \
                                       value was written and completed before the read began"
@@ -126,7 +131,7 @@ let check ?(after = 0) ~ts_prec h =
                 match w1.resp, w2.resp with
                 | Some w1_resp, Some w2_resp ->
                     if w2_resp < w1.inv && w1_resp < r2.rinv then
-                      flag r2.rid (`Inversion r1.rid)
+                      flag ~also:[ r1.rid; w1.wid; w2.wid ] r2.rid (`Inversion r1.rid)
                         (Printf.sprintf
                            "read %d returned value %d after read %d had returned the strictly newer \
                             value %d (both writes completed before read %d began)"

@@ -31,6 +31,10 @@ type violation = {
   read_id : int;
   kind : [ `Stale | `Future | `Unwritten | `Inversion of int | `Order ];
   detail : string;
+  ops : int list;
+      (** every implicated operation id (the read itself, the other
+          read of an inversion, the writes whose order it breaches) —
+          what the forensic trace dump slices on *)
 }
 (** [`Stale]: returned a value overwritten in real time before the read
     began (a strictly later write had already completed).

@@ -7,6 +7,8 @@ let () =
       ("heap", Test_heap.suite);
       ("engine", Test_engine.suite);
       ("metrics+trace", Test_metrics.suite);
+      ("metric-names", Test_metric_names.suite);
+      ("observability", Test_observability.suite);
       ("network", Test_network.suite);
       ("lossy", Test_lossy.suite);
       ("datalink", Test_datalink.suite);

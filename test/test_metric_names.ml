@@ -1,0 +1,89 @@
+(* The metric-name registry, and a source lint enforcing it: protocol
+   code must name counters/histograms via Metric_names, never raw
+   string literals.  The lint scans the library sources dune copied
+   into _build (the test runs from _build/default/test). *)
+
+open Sbft_sim
+
+let test_registry () =
+  Alcotest.(check bool) "net.sent registered" true (Metric_names.mem Metric_names.net_sent);
+  Alcotest.(check bool) "kind-split counters match the prefix" true
+    (Metric_names.mem (Metric_names.net_sent_kind_prefix ^ "write_req"));
+  Alcotest.(check bool) "unknown name rejected" false (Metric_names.mem "bogus.counter");
+  let names = List.map (fun (n, _, _) -> n) Metric_names.all in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (n, _, doc) ->
+      Alcotest.(check bool) (n ^ " documented") true (String.length doc > 0))
+    Metric_names.all
+
+(* ------------------------------------------------------------------ *)
+(* source lint *)
+
+let rec ml_files dir =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then ml_files path @ acc
+      else if Filename.check_suffix entry ".ml" then path :: acc
+      else acc)
+    [] (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* After a [Metrics.incr/add/record/get/observe], the name argument must
+   reach a [Metric_names] (or aliased [Names.]) token before any string
+   literal.  The scan stops at the statement's [;] or after 200 chars,
+   so names passed through variables are accepted. *)
+let contains_at s i sub =
+  i + String.length sub <= String.length s && String.sub s i (String.length sub) = sub
+
+let literal_name_after s start =
+  let stop = min (String.length s) (start + 200) in
+  let rec scan i =
+    if i >= stop then false
+    else if s.[i] = ';' then false
+    else if contains_at s i "Metric_names" || contains_at s i "Names." then false
+    else if s.[i] = '"' then true
+    else scan (i + 1)
+  in
+  scan start
+
+let lint_file path =
+  let src = read_file path in
+  let bad = ref [] in
+  List.iter
+    (fun callee ->
+      let len = String.length callee in
+      for i = 0 to String.length src - len - 1 do
+        if contains_at src i callee && literal_name_after src (i + len) then
+          bad := Printf.sprintf "%s: %s with a string literal" path callee :: !bad
+      done)
+    [ "Metrics.incr"; "Metrics.add"; "Metrics.record"; "Metrics.get"; "Metrics.observe" ];
+  !bad
+
+let test_no_raw_metric_literals () =
+  if not (Sys.file_exists "../lib") then
+    (* not running from _build/default/test; nothing to scan *)
+    ()
+  else
+    let files =
+      List.filter (fun p -> Filename.basename p <> "metric_names.ml") (ml_files "../lib")
+    in
+    Alcotest.(check bool) "some sources scanned" true (List.length files > 10);
+    let bad = List.concat_map lint_file files in
+    if bad <> [] then
+      Alcotest.failf "raw metric-name literals (use Sbft_sim.Metric_names):\n  %s"
+        (String.concat "\n  " bad)
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "no raw metric literals in lib/" `Quick test_no_raw_metric_literals;
+  ]

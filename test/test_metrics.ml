@@ -1,4 +1,4 @@
-(* Tests for counters, series, and the trace ring buffer. *)
+(* Tests for counters, series, histograms, and the typed trace ring. *)
 
 open Sbft_sim
 
@@ -22,17 +22,50 @@ let test_series () =
   Alcotest.(check int) "length past initial capacity" 40 (Array.length s);
   Alcotest.(check (float 0.0)) "order preserved" 40.0 s.(39)
 
+let test_histograms () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "unset is None" true (Metrics.histogram m "h" = None);
+  Metrics.record m "h" 1.0;
+  (* bucket 0: <= 1 *)
+  Metrics.record m "h" 3.0;
+  (* bucket 2: <= 4 *)
+  Metrics.record m "h" 1e9;
+  (* overflow *)
+  let h = Option.get (Metrics.histogram m "h") in
+  Alcotest.(check int) "count" 3 h.count;
+  Alcotest.(check (float 1e-6)) "sum" (1.0 +. 3.0 +. 1e9) h.sum;
+  Alcotest.(check (float 0.0)) "min" 1.0 h.min;
+  Alcotest.(check (float 0.0)) "max" 1e9 h.max;
+  Alcotest.(check int) "counts length = bounds + overflow" (Array.length h.bounds + 1)
+    (Array.length h.counts);
+  Alcotest.(check int) "bucket 0" 1 h.counts.(0);
+  Alcotest.(check int) "bucket 2" 1 h.counts.(2);
+  Alcotest.(check int) "overflow bucket" 1 h.counts.(Array.length h.counts - 1);
+  Alcotest.(check int) "listing" 1 (List.length (Metrics.histograms m))
+
 let test_reset () =
   let m = Metrics.create () in
   Metrics.incr m "a";
   Metrics.observe m "s" 1.0;
+  Metrics.record m "h" 2.0;
   Metrics.reset m;
   Alcotest.(check int) "counter reset" 0 (Metrics.get m "a");
-  Alcotest.(check int) "series reset" 0 (Array.length (Metrics.series m "s"))
+  Alcotest.(check int) "series reset" 0 (Array.length (Metrics.series m "s"));
+  Alcotest.(check bool) "histogram reset" true (Metrics.histogram m "h" = None)
+
+(* ------------------------------------------------------------------ *)
+(* trace ring *)
+
+let note_entries t =
+  List.map
+    (fun (time, ev) ->
+      match ev with Event.Note { detail } -> (time, detail) | e -> (time, Event.name e))
+    (Trace.entries t)
 
 let test_trace_disabled_is_noop () =
   let t = Trace.create ~enabled:false () in
   Trace.log t ~time:1 "x";
+  Trace.emit t ~time:2 (Event.Note { detail = "y" });
   Alcotest.(check int) "nothing retained" 0 (List.length (Trace.entries t))
 
 let test_trace_retention () =
@@ -41,28 +74,129 @@ let test_trace_retention () =
     Trace.log t ~time:i (string_of_int i)
   done;
   Alcotest.(check (list (pair int string)))
-    "oldest first" [ (1, "1"); (2, "2"); (3, "3") ] (Trace.entries t)
+    "oldest first" [ (1, "1"); (2, "2"); (3, "3") ] (note_entries t)
 
 let test_trace_ring_wrap () =
   let t = Trace.create ~capacity:3 ~enabled:true () in
-  for i = 1 to 5 do
+  for i = 1 to 10 do
     Trace.log t ~time:i (string_of_int i)
   done;
   Alcotest.(check (list (pair int string)))
-    "only most recent capacity" [ (3, "3"); (4, "4"); (5, "5") ] (Trace.entries t)
+    "exactly capacity newest, oldest first"
+    [ (8, "8"); (9, "9"); (10, "10") ]
+    (note_entries t)
+
+let test_trace_window () =
+  let t = Trace.create ~enabled:true () in
+  for i = 1 to 9 do
+    Trace.log t ~time:i (string_of_int i)
+  done;
+  Alcotest.(check (list (pair int string)))
+    "inclusive window" [ (4, "4"); (5, "5"); (6, "6") ]
+    (List.map
+       (fun (time, ev) ->
+         match ev with Event.Note { detail } -> (time, detail) | e -> (time, Event.name e))
+       (Trace.window t ~from_time:4 ~until:6))
 
 let test_trace_logf_lazy () =
   let t = Trace.create ~enabled:true () in
   Trace.logf t ~time:7 "n=%d s=%s" 42 "hi";
-  Alcotest.(check (list (pair int string))) "formatted" [ (7, "n=42 s=hi") ] (Trace.entries t)
+  Alcotest.(check (list (pair int string))) "formatted" [ (7, "n=42 s=hi") ] (note_entries t);
+  (* When disabled, the formatter must never run — %t's closure is the witness. *)
+  let off = Trace.create ~enabled:false () in
+  let ran = ref false in
+  Trace.logf off ~time:1 "%t" (fun fmt ->
+      ran := true;
+      Format.pp_print_string fmt "x");
+  Alcotest.(check bool) "disabled logf builds nothing" false !ran
+
+let test_trace_typed_events () =
+  let t = Trace.create ~enabled:true () in
+  Trace.emit t ~time:3 (Event.Msg_sent { src = 6; dst = 0; kind = "write_req" });
+  Trace.emit t ~time:5 (Event.Op_finished { op_id = 9; client = 6; kind = "write"; outcome = "ok"; ticks = 2 });
+  (match Trace.entries t with
+  | [ (3, e1); (5, e2) ] ->
+      Alcotest.(check string) "name 1" "msg_sent" (Event.name e1);
+      Alcotest.(check (list int)) "endpoints" [ 6; 0 ] (Event.endpoints e1);
+      Alcotest.(check (option int)) "no op_id on msg" None (Event.op_id e1);
+      Alcotest.(check (option int)) "op_id threaded" (Some 9) (Event.op_id e2)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" (fun fmt t -> Trace.dump t fmt) t) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* JSON + the JSONL sink *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.String "x\"y\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ]);
+      ]
+  in
+  let s = Json.to_string j in
+  (match Json.of_string s with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  Alcotest.(check bool) "garbage rejected" true
+    (match Json.of_string "{\"a\":" with Error _ -> true | Ok _ -> false)
+
+let test_event_to_json () =
+  let j = Event.to_json ~time:11 (Event.Msg_dropped { src = 2; dst = 8; kind = "reply"; reason = "crashed" }) in
+  let s = Json.to_string j in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "event json unparseable: %s" e
+  | Ok j' ->
+      Alcotest.(check bool) "t field" true (Json.member "t" j' = Some (Json.Int 11));
+      Alcotest.(check bool) "ev field" true (Json.member "ev" j' = Some (Json.String "msg_dropped"));
+      Alcotest.(check bool) "reason field" true
+        (Json.member "reason" j' = Some (Json.String "crashed"))
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "sbft_trace" ".jsonl" in
+  let oc = open_out path in
+  let t = Trace.create ~capacity:2 ~enabled:true () in
+  Trace.add_sink t (Trace.jsonl_sink oc);
+  Trace.emit t ~time:1 (Event.Op_started { op_id = 0; client = 6; kind = "write" });
+  Trace.emit t ~time:4 (Event.Quorum_formed { op_id = 0; client = 6; phase = "ts"; size = 5 });
+  Trace.emit t ~time:6 (Event.Fault_injected { desc = "corrupt s0" });
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  (* the sink streams every event even though the ring only kept 2 *)
+  Alcotest.(check int) "one line per event" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok j ->
+          Alcotest.(check bool) "has ev" true (Json.member "ev" j <> None);
+          Alcotest.(check bool) "has t" true (Json.member "t" j <> None)
+      | Error e -> Alcotest.failf "line %S did not parse: %s" line e)
+    lines
 
 let suite =
   [
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "histograms" `Quick test_histograms;
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_noop;
     Alcotest.test_case "trace retention" `Quick test_trace_retention;
     Alcotest.test_case "trace ring wrap" `Quick test_trace_ring_wrap;
+    Alcotest.test_case "trace window" `Quick test_trace_window;
     Alcotest.test_case "trace logf" `Quick test_trace_logf_lazy;
+    Alcotest.test_case "typed events" `Quick test_trace_typed_events;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "event to_json" `Quick test_event_to_json;
+    Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
   ]

@@ -1,0 +1,188 @@
+(* Operation spans, the stabilization probe, run artifacts, and the
+   forensic violation dump — the observability layer end to end. *)
+
+module H = Sbft_spec.History
+module Sim = Sbft_sim
+module System = Sbft_core.System
+module Config = Sbft_core.Config
+
+let run_small () =
+  let sys = System.create ~seed:21L ~trace:true (Config.make ~n:6 ~f:1 ~clients:2 ()) in
+  System.write sys ~client:6 ~value:1
+    ~k:(fun () ->
+      System.read sys ~client:7
+        ~k:(fun _ -> System.write sys ~client:7 ~value:2 ())
+        ())
+    ();
+  System.quiesce sys;
+  sys
+
+let test_op_spans () =
+  let sys = run_small () in
+  let m = Sim.Engine.metrics (System.engine sys) in
+  let expect ?(positive = false) name count =
+    match Sim.Metrics.histogram m name with
+    | None -> Alcotest.failf "histogram %s missing" name
+    | Some h ->
+        Alcotest.(check int) (name ^ " count") count h.count;
+        if positive then Alcotest.(check bool) (name ^ " positive") true (h.min >= 1.0)
+  in
+  expect ~positive:true Sim.Metric_names.write_total_ticks 2;
+  expect Sim.Metric_names.write_collect_ticks 2;
+  expect Sim.Metric_names.write_commit_ticks 2;
+  expect ~positive:true Sim.Metric_names.read_total_ticks 1;
+  (* a pre-flushed read label legally makes the flush phase 0 ticks,
+     so phases only assert presence, not positivity *)
+  expect Sim.Metric_names.read_flush_ticks 1;
+  expect Sim.Metric_names.read_decide_ticks 1;
+  (* phases partition the total: collect + commit <= total per op, and
+     the recorded sums agree to within rounding (same clock) *)
+  let sum n = (Option.get (Sim.Metrics.histogram m n)).sum in
+  Alcotest.(check bool) "phases bounded by total" true
+    (sum Sim.Metric_names.write_collect_ticks +. sum Sim.Metric_names.write_commit_ticks
+    <= sum Sim.Metric_names.write_total_ticks +. 0.5)
+
+let test_trace_op_ids_match_history () =
+  let sys = run_small () in
+  let entries = Sim.Trace.entries (Sim.Engine.trace (System.engine sys)) in
+  let history_ids =
+    List.filter_map
+      (function
+        | H.Write { id; _ } -> Some id
+        | H.Read { id; _ } -> Some id)
+      (H.ops (System.history sys))
+  in
+  let traced_ids =
+    List.sort_uniq compare (List.filter_map (fun (_, ev) -> Sim.Event.op_id ev) entries)
+  in
+  Alcotest.(check (list int)) "every history op appears in the trace"
+    (List.sort compare history_ids) traced_ids;
+  let count p = List.length (List.filter (fun (_, ev) -> p ev) entries) in
+  Alcotest.(check int) "one op_started per op" 3
+    (count (function Sim.Event.Op_started _ -> true | _ -> false));
+  Alcotest.(check int) "one op_finished per op" 3
+    (count (function Sim.Event.Op_finished _ -> true | _ -> false));
+  Alcotest.(check bool) "quorums were traced" true
+    (count (function Sim.Event.Quorum_formed _ -> true | _ -> false) > 0);
+  Alcotest.(check bool) "label adoptions were traced" true
+    (count (function Sim.Event.Label_adopted { ack = true; _ } -> true | _ -> false) > 0)
+
+let test_hist_percentile () =
+  let bounds = [| 1.0; 2.0; 4.0; 8.0 |] in
+  (* counts: 1 in <=1, 0, 3 in <=4, 0, 1 overflow *)
+  let counts = [| 1; 0; 3; 0; 1 |] in
+  let pct p = Sbft_harness.Stats.hist_percentile ~bounds ~counts p in
+  Alcotest.(check (float 0.0)) "p0 -> first bucket" 1.0 (pct 0.0);
+  Alcotest.(check (float 0.0)) "p50 -> median bucket" 4.0 (pct 50.0);
+  Alcotest.(check (float 0.0)) "p99 -> overflow clamps to last bound" 8.0 (pct 99.0);
+  Alcotest.(check (float 0.0)) "empty -> 0" 0.0
+    (Sbft_harness.Stats.hist_percentile ~bounds ~counts:[| 0; 0; 0; 0; 0 |] 50.0)
+
+let test_percentile_edges () =
+  let xs = [| 5.0; 1.0; 3.0 |] in
+  Alcotest.(check (float 0.0)) "p0 is the minimum" 1.0 (Sbft_harness.Stats.percentile xs 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the maximum" 5.0 (Sbft_harness.Stats.percentile xs 100.0);
+  let s = Sbft_harness.Stats.summarize xs in
+  Alcotest.(check (float 0.0)) "summary carries p99" 5.0 s.p99
+
+let test_probe () =
+  let h : unit H.t = H.create () in
+  (* a write before the fault, an abort during recovery, then a clean read *)
+  let w = H.begin_write h ~client:6 ~value:1 ~time:10 in
+  H.end_write h ~id:w ~time:30 ~ts:None;
+  let r1 = H.begin_read h ~client:7 ~time:120 in
+  H.end_read h ~id:r1 ~time:150 ~outcome:H.Abort;
+  let r2 = H.begin_read h ~client:7 ~time:200 in
+  H.end_read h ~id:r2 ~time:220 ~outcome:(H.Value 1);
+  let p = Sbft_harness.Probe.analyze ~corruption:100 h in
+  Alcotest.(check int) "corruption tick" 100 p.corruption_tick;
+  Alcotest.(check (option int)) "last abort" (Some 150) p.last_abort;
+  Alcotest.(check (option int)) "first clean read" (Some 220) p.first_clean_read;
+  Alcotest.(check (option int)) "convergence" (Some 120) p.convergence;
+  (* the JSON form parses back *)
+  (match Sim.Json.of_string (Sim.Json.to_string (Sbft_harness.Probe.to_json p)) with
+  | Ok j ->
+      Alcotest.(check bool) "convergence in json" true
+        (Sim.Json.member "convergence_ticks" j = Some (Sim.Json.Int 120))
+  | Error e -> Alcotest.failf "probe json: %s" e);
+  (* no clean read yet -> no convergence claim *)
+  let h2 : unit H.t = H.create () in
+  let r = H.begin_read h2 ~client:7 ~time:120 in
+  H.end_read h2 ~id:r ~time:150 ~outcome:H.Abort;
+  let p2 = Sbft_harness.Probe.analyze ~corruption:100 h2 in
+  Alcotest.(check (option int)) "still aborting" None p2.convergence
+
+let test_artifacts_json () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr m Sim.Metric_names.net_sent;
+  Sim.Metrics.record m Sim.Metric_names.write_total_ticks 7.0;
+  let j =
+    Sbft_harness.Artifacts.metrics_json
+      ~run:[ ("n", Sim.Json.Int 6) ]
+      ~regularity:(12, 0) ~metrics:m
+      ~per_node:[| (3, 2); (1, 1) |]
+      ()
+  in
+  match Sim.Json.of_string (Sim.Json.to_string j) with
+  | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+  | Ok j ->
+      let member path =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Sim.Json.member k))
+          (Some j) path
+      in
+      Alcotest.(check bool) "counter present" true
+        (member [ "counters"; Sim.Metric_names.net_sent ] = Some (Sim.Json.Int 1));
+      Alcotest.(check bool) "histogram p50" true
+        (member [ "histograms"; Sim.Metric_names.write_total_ticks; "p50" ]
+        = Some (Sim.Json.Float 8.0));
+      Alcotest.(check bool) "per_node" true
+        (match member [ "per_node" ] with
+        | Some (Sim.Json.List [ _; _ ]) -> true
+        | _ -> false);
+      Alcotest.(check bool) "regularity checked" true
+        (member [ "regularity"; "checked" ] = Some (Sim.Json.Int 12))
+
+let test_forensics_dump () =
+  let tr = Sim.Trace.create ~enabled:true () in
+  Sim.Trace.emit tr ~time:12 (Sim.Event.Op_started { op_id = 0; client = 6; kind = "write" });
+  Sim.Trace.emit tr ~time:14 (Sim.Event.Fault_injected { desc = "corrupt s2" });
+  Sim.Trace.emit tr ~time:15 (Sim.Event.Op_started { op_id = 7; client = 9; kind = "write" });
+  Sim.Trace.emit tr ~time:20 (Sim.Event.Op_finished { op_id = 0; client = 6; kind = "write"; outcome = "ok"; ticks = 8 });
+  Sim.Trace.emit tr ~time:40 (Sim.Event.Op_started { op_id = 1; client = 7; kind = "read" });
+  Sim.Trace.emit tr ~time:50 (Sim.Event.Op_finished { op_id = 1; client = 7; kind = "read"; outcome = "value"; ticks = 10 });
+  let h : unit H.t = H.create () in
+  let w = H.begin_write h ~client:6 ~value:1 ~time:12 in
+  H.end_write h ~id:w ~time:20 ~ts:None;
+  let r = H.begin_read h ~client:7 ~time:40 in
+  H.end_read h ~id:r ~time:50 ~outcome:(H.Value 99);
+  let v =
+    {
+      Sbft_spec.Regularity.read_id = r;
+      kind = `Unwritten;
+      detail = "read 1 returned unwritten value 99";
+      ops = [ r; w ];
+    }
+  in
+  let s = Sbft_harness.Forensics.dump_string ~trace:tr ~history:h [ v ] in
+  let has sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the violation" true (has "unwritten");
+  Alcotest.(check bool) "happened-before edge" true (has "write 0 -> read 1");
+  Alcotest.(check bool) "window includes the write's events" true (has "write start");
+  Alcotest.(check bool) "non-op events inside the window kept" true (has "FAULT corrupt s2");
+  Alcotest.(check bool) "unimplicated op filtered out" false (has "op=7")
+
+let suite =
+  [
+    Alcotest.test_case "op spans -> histograms" `Quick test_op_spans;
+    Alcotest.test_case "trace op ids match history" `Quick test_trace_op_ids_match_history;
+    Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+    Alcotest.test_case "stabilization probe" `Quick test_probe;
+    Alcotest.test_case "artifacts json" `Quick test_artifacts_json;
+    Alcotest.test_case "forensics dump" `Quick test_forensics_dump;
+  ]
