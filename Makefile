@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench clean
+.PHONY: all build test check lint bench artifacts clean
 
 all: build
 
@@ -22,6 +22,15 @@ check: build test lint
 
 bench:
 	dune exec bench/main.exe
+
+# Sample run artifacts (committed reference inputs for sbftreg
+# replay/analyze/diff; also a smoke test of the whole artifact loop:
+# the fresh trace must replay with zero divergence).
+artifacts: build
+	dune exec bin/sbftreg.exe -- run --seed 7 --ops 10 \
+	  --trace-out bench/sample-trace.jsonl --metrics-out bench/sample-metrics.json
+	dune exec bin/sbftreg.exe -- replay bench/sample-trace.jsonl
+	dune exec bin/sbftreg.exe -- diff bench/sample-metrics.json bench/sample-metrics.json
 
 clean:
 	dune clean

@@ -2,12 +2,20 @@
 
    Subcommands:
      run        simulate a workload and audit it against the spec
+     replay     re-execute a recorded trace and diff the event streams
+     analyze    reconstruct happened-before from a trace artifact
+     diff       compare two metrics artifacts with tolerances
      experiment run one experiment table (or "all")
      attack     replay the Theorem 1 lower-bound schedule
      labels     poke at the bounded labeling system
      trace      run a tiny scenario with the event trace enabled *)
 
 open Cmdliner
+module Scenario = Sbft_harness.Scenario
+module Run_header = Sbft_analysis.Run_header
+module Trace_file = Sbft_analysis.Trace_file
+module Replay = Sbft_analysis.Replay
+module Causality = Sbft_analysis.Causality
 
 let outcome_str = function
   | Sbft_spec.History.Value v -> Printf.sprintf "value %d" v
@@ -23,108 +31,114 @@ let open_out_or_die path =
     Printf.eprintf "cannot open %s: %s\n" path e;
     exit 1
 
-let violation_kind_str = function
-  | `Stale -> "stale"
-  | `Future -> "future"
-  | `Unwritten -> "unwritten"
-  | `Inversion _ -> "inversion"
-  | `Order -> "order"
+let fingerprint () = try Digest.to_hex (Digest.file Sys.executable_name) with Sys_error _ -> ""
+
+let endpoint_name ~n i = if i < n then Printf.sprintf "s%d" i else Printf.sprintf "c%d" i
 
 let run_cmd =
-  let go n f clients seed ops write_ratio strategy corrupt trace_out metrics_out =
-    let cfg = Sbft_core.Config.make ~allow_unsafe:true ~n ~f ~clients () in
-    (* tracing is always on here: the ring is what the forensic dump
-       slices when the checker flags the run *)
-    let sys = Sbft_core.System.create ~seed ~trace:true cfg in
-    let engine = Sbft_core.System.engine sys in
-    let tr = Sbft_sim.Engine.trace engine in
+  let go n f clients seed ops write_ratio strategy corrupt trace_cap snapshot_every trace_out
+      metrics_out =
+    let scenario =
+      {
+        Scenario.n;
+        f;
+        clients;
+        seed;
+        ops_per_client = ops;
+        write_ratio;
+        strategy;
+        corrupt;
+        trace_cap;
+        snapshot_every;
+      }
+    in
     (* open both artifact files before the run: a bad path should fail
        here, not after the simulation has burned its budget *)
     let trace_oc =
       Option.map
         (fun path ->
           let oc = open_out_or_die path in
-          Sbft_sim.Trace.add_sink tr (Sbft_sim.Trace.jsonl_sink oc);
+          (* the header makes the artifact a self-contained repro for
+             `sbftreg replay` *)
+          output_string oc
+            (Sbft_sim.Json.to_string
+               (Run_header.to_json (Scenario.to_header ~fingerprint:(fingerprint ()) scenario)));
+          output_char oc '\n';
           (path, oc))
         trace_out
     in
     let metrics_oc = Option.map (fun path -> (path, open_out_or_die path)) metrics_out in
-    (match strategy with
-    | None -> ()
-    | Some name -> (
-        match List.assoc_opt name Sbft_byz.Strategies.all with
-        | Some s -> ignore (Sbft_byz.Strategy.install_all sys s)
-        | None ->
-            Printf.eprintf "unknown strategy %S; known: %s\n" name
-              (String.concat ", " (List.map fst Sbft_byz.Strategies.all));
-            exit 1));
-    if corrupt then Sbft_core.System.corrupt_everything sys ~severity:`Heavy;
-    let reg = Sbft_harness.Register.core sys in
-    let spec = { Sbft_harness.Workload.default with ops_per_client = ops; write_ratio } in
-    let o = Sbft_harness.Workload.run ~spec reg in
-    Printf.printf "issued %d writes, %d reads over %d virtual ticks%s\n" o.issued_writes
-      o.issued_reads o.wall_ticks
-      (if o.livelocked then " (LIVELOCKED)" else "");
-    Printf.printf "completed: %d writes, %d reads (%d aborted)\n" (reg.completed_writes ())
-      (reg.completed_reads ()) (reg.aborted_reads ());
-    let after = Option.value ~default:max_int (reg.first_write_completion ()) in
-    let history = Sbft_core.System.history sys in
-    let c = Sbft_spec.Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
-    let violations = List.length c.violations in
-    Printf.printf "regularity (after first write at t=%s): %d checked, %d violations\n"
-      (if after = max_int then "-" else string_of_int after)
-      c.checked_reads violations;
-    List.iter
-      (fun (v : Sbft_spec.Regularity.violation) ->
-        Printf.printf "  VIOLATION: %s\n" v.detail;
-        Sbft_sim.Trace.emit tr ~time:(Sbft_sim.Engine.now engine)
-          (Sbft_sim.Event.Violation
-             { op_id = v.read_id; kind = violation_kind_str v.kind; detail = v.detail }))
-      c.violations;
-    if c.violations <> [] then
-      print_string (Sbft_harness.Forensics.dump_string ~trace:tr ~history c.violations);
-    let w, r = reg.op_latencies () in
-    let pp what s =
-      Printf.printf "%s latency: %s\n" what (Format.asprintf "%a" Sbft_harness.Stats.pp_summary s)
-    in
-    pp "write" (Sbft_harness.Stats.summarize w);
-    pp "read" (Sbft_harness.Stats.summarize r);
-    let probe = Sbft_harness.Probe.analyze ~corruption:0 history in
-    if corrupt then Format.printf "%a@." Sbft_harness.Probe.pp probe;
-    Option.iter
-      (fun (path, oc) ->
-        close_out oc;
-        Printf.printf "wrote %s\n" path)
-      trace_oc;
-    Option.iter
-      (fun (path, oc) ->
-        let module J = Sbft_sim.Json in
-        let run =
-          [
-            ("cmd", J.String "run");
-            ("n", J.Int n);
-            ("f", J.Int f);
-            ("clients", J.Int clients);
-            ("seed", J.String (Int64.to_string seed));
-            ("ops_per_client", J.Int ops);
-            ("write_ratio", J.Float write_ratio);
-            ("byzantine", match strategy with Some s -> J.String s | None -> J.Null);
-            ("corrupt", J.Bool corrupt);
-            ("wall_ticks", J.Int o.wall_ticks);
-          ]
+    let sink = Option.map (fun (_, oc) -> Sbft_sim.Trace.jsonl_sink oc) trace_oc in
+    match Scenario.execute ?sink scenario with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok r ->
+        let o = r.outcome and reg = r.reg in
+        Printf.printf "issued %d writes, %d reads over %d virtual ticks%s\n" o.issued_writes
+          o.issued_reads o.wall_ticks
+          (if o.livelocked then " (LIVELOCKED)" else "");
+        Printf.printf "completed: %d writes, %d reads (%d aborted)\n" (reg.completed_writes ())
+          (reg.completed_reads ()) (reg.aborted_reads ());
+        let violations = List.length r.report.violations in
+        Printf.printf "regularity (after first write at t=%s): %d checked, %d violations\n"
+          (if r.after = max_int then "-" else string_of_int r.after)
+          r.report.checked_reads violations;
+        List.iter
+          (fun (v : Sbft_spec.Regularity.violation) -> Printf.printf "  VIOLATION: %s\n" v.detail)
+          r.report.violations;
+        let history = Sbft_core.System.history r.sys in
+        let tr = Sbft_sim.Engine.trace (Sbft_core.System.engine r.sys) in
+        if r.report.violations <> [] then
+          print_string
+            (Sbft_harness.Forensics.dump_string ~name:(endpoint_name ~n) ~trace:tr ~history
+               r.report.violations);
+        let w, rd = reg.op_latencies () in
+        let pp what s =
+          Printf.printf "%s latency: %s\n" what
+            (Format.asprintf "%a" Sbft_harness.Stats.pp_summary s)
         in
-        output_string oc
-          (J.to_string
-             (Sbft_harness.Artifacts.metrics_json ~run ~stabilization:probe
-                ~regularity:(c.checked_reads, violations)
-                ~metrics:(Sbft_sim.Engine.metrics engine)
-                ~per_node:(Sbft_channel.Network.node_counters (Sbft_core.System.network sys))
-                ()));
-        output_char oc '\n';
-        close_out oc;
-        Printf.printf "wrote %s\n" path)
-      metrics_oc;
-    if violations > 0 then exit 2
+        pp "write" (Sbft_harness.Stats.summarize w);
+        pp "read" (Sbft_harness.Stats.summarize rd);
+        if corrupt then Format.printf "%a@." Sbft_harness.Probe.pp r.probe;
+        Option.iter
+          (fun (path, oc) ->
+            close_out oc;
+            Printf.printf "wrote %s (%d events)\n" path (List.length r.events))
+          trace_oc;
+        Option.iter
+          (fun (path, oc) ->
+            let module J = Sbft_sim.Json in
+            let run =
+              [
+                ("cmd", J.String "run");
+                ("n", J.Int n);
+                ("f", J.Int f);
+                ("clients", J.Int clients);
+                ("seed", J.String (Int64.to_string seed));
+                ("ops_per_client", J.Int ops);
+                ("write_ratio", J.Float write_ratio);
+                ("byzantine", match strategy with Some s -> J.String s | None -> J.Null);
+                ("corrupt", J.Bool corrupt);
+                ("wall_ticks", J.Int o.wall_ticks);
+              ]
+            in
+            let stale_reads =
+              List.map (fun (v : Sbft_spec.Regularity.violation) -> v.read_id) r.report.violations
+            in
+            output_string oc
+              (J.to_string
+                 (Sbft_harness.Artifacts.metrics_json ~run ~stabilization:r.probe
+                    ~regularity:(r.report.checked_reads, violations)
+                    ~telemetry:(Sbft_harness.Telemetry.to_json r.telemetry ~history ~stale_reads ())
+                    ~metrics:(Sbft_sim.Engine.metrics (Sbft_core.System.engine r.sys))
+                    ~per_node:(Sbft_channel.Network.node_counters (Sbft_core.System.network r.sys))
+                    ()));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          metrics_oc;
+        if violations > 0 then exit 2
   in
   let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of servers.") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
@@ -136,11 +150,26 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "byzantine" ] ~doc:"Byzantine strategy for f servers.")
   in
   let corrupt = Arg.(value & flag & info [ "corrupt" ] ~doc:"Corrupt all state and channels at t=0.") in
+  let trace_cap =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:"Forensic event-ring capacity (sinks always see every event).")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "snapshot-every" ] ~docv:"TICKS"
+          ~doc:"Period of per-server state snapshots for convergence telemetry; 0 disables.")
+  in
   let trace_out =
     Arg.(
       value
       & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Stream the typed event trace to FILE as JSONL.")
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream the typed event trace to FILE as JSONL (header line first).")
   in
   let metrics_out =
     Arg.(
@@ -149,11 +178,172 @@ let run_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:
             "Write a JSON metrics snapshot (counters, per-phase latency histograms with \
-             p50/p95/p99, per-node traffic, stabilization probe) to FILE.")
+             p50/p95/p99, per-node traffic, stabilization probe, convergence telemetry) to FILE.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload and audit it against MWMR regularity")
-    Term.(const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt $ trace_out $ metrics_out)
+    Term.(
+      const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt $ trace_cap $ snapshot_every
+      $ trace_out $ metrics_out)
+
+(* ------------------------------------------------------------------ *)
+(* replay *)
+
+let replay_cmd =
+  let go path =
+    match Trace_file.load path with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok { header = None; _ } ->
+        Printf.eprintf "%s: no run header — re-record with --trace-out to get a replayable trace\n"
+          path;
+        exit 1
+    | Ok { header = Some h; events = expected } -> (
+        Format.printf "%a@." Run_header.pp h;
+        if h.schema <> Run_header.schema_version then
+          Printf.eprintf "warning: artifact schema v%d, this binary expects v%d\n" h.schema
+            Run_header.schema_version;
+        let fp = fingerprint () in
+        if Replay.fingerprint_mismatch ~header:h ~fingerprint:fp then
+          Printf.eprintf
+            "warning: binary fingerprint %s differs from the recorder's %s — a divergence below \
+             may be a code change, not nondeterminism\n"
+            (String.sub fp 0 12)
+            (String.sub h.fingerprint 0 12);
+        match Scenario.execute (Scenario.of_header h) with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok r ->
+            let v = Replay.compare_streams ~expected ~got:r.events in
+            Format.printf "%a@." Replay.pp_verdict v;
+            if v.divergence <> None then exit 2)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace artifact.") in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute the run recorded in a trace artifact's header and report the first event \
+          where the fresh execution diverges from the recording (exit 2 on divergence)")
+    Term.(const go $ path)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let go path focus dot_out list_ops =
+    match Trace_file.load path with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok { header; events } ->
+        let name =
+          match header with
+          | Some h -> endpoint_name ~n:h.n
+          | None -> fun i -> Printf.sprintf "n%d" i
+        in
+        Option.iter (fun h -> Format.printf "%a@.@." Run_header.pp h) header;
+        let g = Causality.build events in
+        if list_ops then begin
+          Printf.printf "operations: %s\n"
+            (String.concat ", " (List.map string_of_int (Causality.op_ids g)));
+          exit 0
+        end;
+        let g, what =
+          match focus with
+          | Some op -> (Causality.cone g ~op_id:op, Printf.sprintf "causal cone of op %d" op)
+          | None -> (g, "full trace")
+        in
+        if Array.length g.nodes = 0 then begin
+          Printf.eprintf "no events match%s\n"
+            (match focus with Some op -> Printf.sprintf " op %d" op | None -> "");
+          exit 1
+        end;
+        Printf.printf "%s: %d events, %d edges, %d lifelines\n\n" what (Array.length g.nodes)
+          (List.length g.edges)
+          (List.length (Causality.locations g));
+        print_string (Causality.ascii ~name g);
+        Option.iter
+          (fun p ->
+            let oc = open_out_or_die p in
+            output_string oc (Causality.to_dot ~name g);
+            close_out oc;
+            Printf.printf "\nwrote %s\n" p)
+          dot_out
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace artifact.") in
+  let focus =
+    let parse s =
+      let s = match String.index_opt s ':' with Some i -> String.sub s (i + 1) (String.length s - i - 1) | None -> s in
+      match int_of_string_opt s with
+      | Some op -> Ok (Some op)
+      | None -> Error (`Msg "expected op:<id> or <id>")
+    in
+    let print fmt = function Some op -> Format.fprintf fmt "op:%d" op | None -> () in
+    Arg.(
+      value
+      & opt (conv (parse, print)) None
+      & info [ "focus" ] ~docv:"op:ID"
+          ~doc:"Slice to the causal cone of one operation (its causes and effects).")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write the graph as GraphViz DOT to FILE.")
+  in
+  let list_ops =
+    Arg.(value & flag & info [ "ops" ] ~doc:"Just list the operation ids present in the trace.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct the happened-before graph of a trace artifact (program order + message \
+          deliveries) and render it as an ASCII space-time diagram and optionally DOT")
+    Term.(const go $ path $ focus $ dot_out $ list_ops)
+
+(* ------------------------------------------------------------------ *)
+(* diff *)
+
+let diff_cmd =
+  let go a b tolerance full =
+    let load path =
+      let ic =
+        try open_in path
+        with Sys_error e ->
+          Printf.eprintf "cannot open %s: %s\n" path e;
+          exit 1
+      in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Sbft_sim.Json.of_string (String.trim s) with
+      | Ok j -> j
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1
+    in
+    let rep = Sbft_analysis.Diff.compare ~tolerance (load a) (load b) in
+    Format.printf "%a@." (if full then Sbft_analysis.Diff.pp_full else Sbft_analysis.Diff.pp) rep;
+    match rep.worst with Sbft_analysis.Diff.Fail -> exit 2 | _ -> ()
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"Baseline artifact.") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"Candidate artifact.") in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:"Relative difference within which a metric is OK (3x = warn, beyond = fail).")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Print every compared metric, not just flagged ones.") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two --metrics-out artifacts metric-by-metric with threshold verdicts (exit 2 \
+          when any metric fails)")
+    Term.(const go $ a $ b $ tolerance $ full)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -191,8 +381,15 @@ let experiment_cmd =
     match metrics_oc with
     | Some (path, oc) ->
         let module J = Sbft_sim.Json in
-        output_string oc
-          (J.to_string (J.Obj [ ("tables", J.List (List.map Sbft_harness.Table.to_json tables)) ]));
+        let members = [ ("tables", J.List (List.map Sbft_harness.Table.to_json tables)) ] in
+        (* when E5 ran, attach the convergence curves behind its table *)
+        let members =
+          if List.exists (fun (t : Sbft_harness.Table.t) -> t.id = "E5") tables then
+            members
+            @ [ ("stabilization_telemetry", Sbft_harness.Experiments.stabilization_telemetry ()) ]
+          else members
+        in
+        output_string oc (J.to_string (J.Obj members));
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path
@@ -437,4 +634,16 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sbftreg" ~doc)
-          [ run_cmd; experiment_cmd; attack_cmd; labels_cmd; trace_cmd; explore_cmd; storm_cmd; kv_cmd ]))
+          [
+            run_cmd;
+            replay_cmd;
+            analyze_cmd;
+            diff_cmd;
+            experiment_cmd;
+            attack_cmd;
+            labels_cmd;
+            trace_cmd;
+            explore_cmd;
+            storm_cmd;
+            kv_cmd;
+          ]))

@@ -1,0 +1,214 @@
+module Event = Sbft_sim.Event
+
+type node = { idx : int; time : int; ev : Event.t }
+
+type edge_kind = Program | Message
+
+type edge = { src : int; dst : int; kind : edge_kind }
+
+type t = { nodes : node array; edges : edge list }
+
+let default_name i = Printf.sprintf "n%d" i
+
+let build entries =
+  let nodes =
+    Array.of_list (List.mapi (fun idx (time, ev) -> { idx; time; ev }) entries)
+  in
+  let edges = ref [] in
+  (* program order: chain consecutive events on each lifeline *)
+  let last_at : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun nd ->
+      match Event.location nd.ev with
+      | None -> ()
+      | Some loc ->
+          (match Hashtbl.find_opt last_at loc with
+          | Some prev -> edges := { src = prev; dst = nd.idx; kind = Program } :: !edges
+          | None -> ());
+          Hashtbl.replace last_at loc nd.idx)
+    nodes;
+  (* message order: FIFO matching of sends to deliveries (or drops) per
+     (src, dst, kind) channel.  Injected messages have no send and
+     simply match nothing. *)
+  let in_flight : (int * int * string, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let queue key =
+    match Hashtbl.find_opt in_flight key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add in_flight key q;
+        q
+  in
+  Array.iter
+    (fun nd ->
+      match nd.ev with
+      | Event.Msg_sent { src; dst; kind } -> Queue.push nd.idx (queue (src, dst, kind))
+      | Event.Msg_delivered { src; dst; kind } | Event.Msg_dropped { src; dst; kind; _ } -> (
+          let q = queue (src, dst, kind) in
+          match Queue.take_opt q with
+          | Some sender -> edges := { src = sender; dst = nd.idx; kind = Message } :: !edges
+          | None -> ())
+      | _ -> ())
+    nodes;
+  { nodes; edges = List.rev !edges }
+
+let op_ids g =
+  Array.to_list g.nodes
+  |> List.filter_map (fun nd -> Event.op_id nd.ev)
+  |> List.sort_uniq compare
+
+let locations g =
+  Array.to_list g.nodes
+  |> List.filter_map (fun nd -> Event.location nd.ev)
+  |> List.sort_uniq compare
+
+let cone g ~op_id =
+  let n = Array.length g.nodes in
+  let fwd = Array.make n [] and bwd = Array.make n [] in
+  List.iter
+    (fun e ->
+      fwd.(e.src) <- e.dst :: fwd.(e.src);
+      bwd.(e.dst) <- e.src :: bwd.(e.dst))
+    g.edges;
+  let keep = Array.make n false in
+  let rec sweep adj i =
+    List.iter
+      (fun j ->
+        if not keep.(j) then begin
+          keep.(j) <- true;
+          sweep adj j
+        end)
+      adj.(i)
+  in
+  Array.iter
+    (fun nd ->
+      if Event.op_id nd.ev = Some op_id then begin
+        keep.(nd.idx) <- true;
+        sweep bwd nd.idx;
+        sweep fwd nd.idx
+      end)
+    g.nodes;
+  let remap = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun nd ->
+      if keep.(nd.idx) then begin
+        remap.(nd.idx) <- !count;
+        kept := { nd with idx = !count } :: !kept;
+        incr count
+      end)
+    g.nodes;
+  let edges =
+    List.filter_map
+      (fun e ->
+        if keep.(e.src) && keep.(e.dst) then
+          Some { src = remap.(e.src); dst = remap.(e.dst); kind = e.kind }
+        else None)
+      g.edges
+  in
+  { nodes = Array.of_list (List.rev !kept); edges }
+
+(* ------------------------------------------------------------------ *)
+(* DOT *)
+
+let dot_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_dot ?(name = default_name) g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph trace {\n  rankdir=TB;\n  node [shape=box,fontsize=10];\n";
+  Array.iter
+    (fun nd ->
+      let loc =
+        match Event.location nd.ev with Some l -> Printf.sprintf " @%s" (name l) | None -> ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  e%d [label=\"t=%d%s\\n%s\"];\n" nd.idx nd.time loc
+           (dot_escape (Event.to_string nd.ev))))
+    g.nodes;
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Program -> Buffer.add_string b (Printf.sprintf "  e%d -> e%d;\n" e.src e.dst)
+      | Message ->
+          Buffer.add_string b
+            (Printf.sprintf "  e%d -> e%d [style=dashed,color=blue];\n" e.src e.dst))
+    g.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* ASCII space-time diagram *)
+
+let ascii ?(name = default_name) g =
+  let locs = locations g in
+  let col_of = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.add col_of l i) locs;
+  let titles = List.map name locs in
+  let col_w = List.fold_left (fun acc s -> max acc (String.length s)) 3 titles + 2 in
+  let ncols = List.length locs in
+  let time_w = 6 in
+  let line_len = time_w + 2 + (ncols * col_w) in
+  let center c = time_w + 2 + (c * col_w) + (col_w / 2) in
+  (* the message edge (if any) ending at each node, for arrow rows *)
+  let incoming = Hashtbl.create 64 in
+  List.iter
+    (fun e -> if e.kind = Message then Hashtbl.replace incoming e.dst e.src)
+    g.edges;
+  let b = Buffer.create 4096 in
+  (* header *)
+  let hdr = Bytes.make line_len ' ' in
+  Bytes.blit_string "time" 0 hdr 0 4;
+  List.iteri
+    (fun c title ->
+      let pos = center c - (String.length title / 2) in
+      Bytes.blit_string title 0 hdr (max 0 (min pos (line_len - String.length title)))
+        (String.length title))
+    titles;
+  Buffer.add_string b (Bytes.to_string hdr);
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun nd ->
+      let row = Bytes.make line_len ' ' in
+      let ts = string_of_int nd.time in
+      Bytes.blit_string ts 0 row (max 0 (time_w - String.length ts)) (String.length ts);
+      (* lifelines *)
+      for c = 0 to ncols - 1 do
+        Bytes.set row (center c) '|'
+      done;
+      (* message arrow from the matched sender's lifeline *)
+      (match Hashtbl.find_opt incoming nd.idx, Event.location nd.ev with
+      | Some sender, Some dst_loc -> (
+          match Event.location g.nodes.(sender).ev, Hashtbl.find_opt col_of dst_loc with
+          | Some src_loc, Some dst_c when Hashtbl.mem col_of src_loc ->
+              let src_c = Hashtbl.find col_of src_loc in
+              let a = center (min src_c dst_c) and z = center (max src_c dst_c) in
+              for p = a + 1 to z - 1 do
+                Bytes.set row p '-'
+              done;
+              Bytes.set row (center src_c) '+';
+              Bytes.set row (center dst_c) (if src_c <= dst_c then '>' else '<')
+          | _ -> ())
+      | _ -> ());
+      (* the event marker wins over anything at its position *)
+      (match Event.location nd.ev with
+      | Some loc -> (
+          match Hashtbl.find_opt col_of loc with
+          | Some c -> Bytes.set row (center c) '*'
+          | None -> ())
+      | None -> ());
+      Buffer.add_string b (Bytes.to_string row);
+      Buffer.add_string b "  ";
+      Buffer.add_string b (Event.to_string nd.ev);
+      Buffer.add_char b '\n')
+    g.nodes;
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Message-causality (happened-before) reconstruction from an event
+    stream.
+
+    Two edge families, per Lamport's definition: {e program order}
+    (consecutive events on the same endpoint's lifeline, per
+    {!Sbft_sim.Event.location}) and {e message order} (each
+    [Msg_delivered] — or [Msg_dropped] — matched FIFO against the
+    earliest unmatched [Msg_sent] with the same (src, dst, kind)).
+    The graph renders as GraphViz DOT and as an ASCII space-time
+    diagram, and can be sliced to the causal cone of one operation —
+    the forensic view of "what could possibly have influenced this
+    read". *)
+
+type node = { idx : int; time : int; ev : Sbft_sim.Event.t }
+
+type edge_kind = Program | Message
+
+type edge = { src : int; dst : int; kind : edge_kind }
+
+type t = { nodes : node array; edges : edge list }
+
+val build : (int * Sbft_sim.Event.t) list -> t
+(** Events must be in emission order (as a trace artifact stores
+    them); FIFO message matching relies on it. *)
+
+val cone : t -> op_id:int -> t
+(** The causal cone of an operation: every event that can reach, or is
+    reachable from, an event carrying [op_id] — its past light cone
+    (causes) plus its future (effects).  Nodes are renumbered; an
+    unknown [op_id] yields an empty graph. *)
+
+val op_ids : t -> int list
+(** Distinct operation ids appearing in the graph, ascending. *)
+
+val locations : t -> int list
+(** Distinct endpoint lifelines, ascending. *)
+
+val to_dot : ?name:(int -> string) -> t -> string
+(** GraphViz digraph: solid edges = program order, dashed = message
+    delivery.  [name] renders endpoint ids (default [n<i>]). *)
+
+val ascii : ?name:(int -> string) -> t -> string
+(** Space-time (Lamport) diagram: one column per endpoint, time
+    flowing down, ["*"] at each event, ["+--->*"] runs for message
+    deliveries, event description at the right margin. *)

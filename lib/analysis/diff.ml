@@ -1,0 +1,100 @@
+module J = Sbft_sim.Json
+
+type verdict = Ok | Warn | Fail
+
+type row = { path : string; a : float option; b : float option; rel : float; verdict : verdict }
+
+type report = { rows : row list; worst : verdict }
+
+let severity = function Ok -> 0 | Warn -> 1 | Fail -> 2
+
+let verdict_str = function Ok -> "ok" | Warn -> "WARN" | Fail -> "FAIL"
+
+(* Which parts of the artifact are comparable scalars.  Histogram bucket
+   arrays, per-node lists and raw telemetry curves are shapes, not
+   scalars — the summary fields cover them. *)
+let hist_fields = [ "count"; "mean"; "p50"; "p95"; "p99" ]
+
+let comparable path =
+  match path with
+  | "regularity.checked" | "regularity.violations" -> true
+  | "run.wall_ticks" -> true
+  | _ ->
+      let has_prefix p =
+        String.length path > String.length p && String.sub path 0 (String.length p) = p
+      in
+      if has_prefix "counters." then true
+      else if has_prefix "stabilization." then true
+      else if has_prefix "telemetry.summary." then true
+      else if has_prefix "histograms." then
+        List.exists
+          (fun f ->
+            let suffix = "." ^ f in
+            let ls = String.length suffix and lp = String.length path in
+            lp > ls && String.sub path (lp - ls) ls = suffix)
+          hist_fields
+      else false
+
+(* exact-match keys: a difference is a verdict, not a measurement *)
+let exact path = path = "regularity.violations"
+
+let rec flatten prefix j acc =
+  match j with
+  | J.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let path = if prefix = "" then k else prefix ^ "." ^ k in
+          flatten path v acc)
+        acc kvs
+  | J.Int i -> if comparable prefix then (prefix, float_of_int i) :: acc else acc
+  | J.Float f -> if comparable prefix then (prefix, f) :: acc else acc
+  | J.Null | J.Bool _ | J.String _ | J.List _ -> acc
+
+let compare ?(tolerance = 0.2) a b =
+  let fa = flatten "" a [] and fb = flatten "" b [] in
+  let paths =
+    List.sort_uniq String.compare (List.map fst fa @ List.map fst fb)
+  in
+  let rows =
+    List.map
+      (fun path ->
+        let va = List.assoc_opt path fa and vb = List.assoc_opt path fb in
+        match va, vb with
+        | Some x, Some y ->
+            let rel =
+              if x = y then 0.0 else Float.abs (x -. y) /. Float.max (Float.max (Float.abs x) (Float.abs y)) 1e-9
+            in
+            let verdict =
+              if exact path then if x = y then Ok else Fail
+              else if rel <= tolerance then Ok
+              else if rel <= 3.0 *. tolerance then Warn
+              else Fail
+            in
+            { path; a = Some x; b = Some y; rel; verdict }
+        | _ -> { path; a = va; b = vb; rel = 0.0; verdict = Warn })
+      paths
+  in
+  let worst =
+    List.fold_left (fun acc r -> if severity r.verdict > severity acc then r.verdict else acc) Ok rows
+  in
+  { rows; worst }
+
+let pp_row fmt r =
+  let v = function None -> "-" | Some x -> Printf.sprintf "%g" x in
+  Format.fprintf fmt "%-4s %-44s %12s %12s %7.1f%%" (verdict_str r.verdict) r.path (v r.a)
+    (v r.b) (100.0 *. r.rel)
+
+let pp_rows fmt rows =
+  Format.fprintf fmt "%-4s %-44s %12s %12s %8s@," "" "metric" "a" "b" "delta";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_row r) rows
+
+let pp fmt rep =
+  let bad = List.filter (fun r -> r.verdict <> Ok) rep.rows in
+  let ok_count = List.length rep.rows - List.length bad in
+  Format.fprintf fmt "@[<v>";
+  if bad <> [] then pp_rows fmt bad;
+  Format.fprintf fmt "%d metrics within tolerance, %d flagged; verdict: %s@]" ok_count
+    (List.length bad) (verdict_str rep.worst)
+
+let pp_full fmt rep =
+  Format.fprintf fmt "@[<v>%averdict: %s@]" pp_rows rep.rows (verdict_str rep.worst)

@@ -1,0 +1,32 @@
+(** Threshold-based comparison of two [--metrics-out] artifacts.
+
+    [sbftreg diff a.json b.json] answers "did this run behave like
+    that one?" — run-vs-run for regression hunting, or
+    protocol-vs-baseline.  Every numeric leaf under [counters],
+    [histograms] (the summary fields), [regularity], [stabilization],
+    [run] and [telemetry.summary] is compared by relative difference
+    against a tolerance; [regularity.violations] is exact, because one
+    extra violation is never noise. *)
+
+type verdict = Ok | Warn | Fail
+
+type row = {
+  path : string;  (** dotted JSON path, e.g. ["counters.net.sent"] *)
+  a : float option;  (** [None] = absent on this side *)
+  b : float option;
+  rel : float;  (** relative difference, 0 when either side is absent *)
+  verdict : verdict;
+}
+
+type report = { rows : row list; worst : verdict }
+
+val compare : ?tolerance:float -> Sbft_sim.Json.t -> Sbft_sim.Json.t -> report
+(** [tolerance] defaults to 0.2: within 20% is [Ok], within 3x the
+    tolerance [Warn], beyond that [Fail].  A key present on only one
+    side is a [Warn]. *)
+
+val pp : Format.formatter -> report -> unit
+(** Table of non-[Ok] rows (plus a summary line counting the rest). *)
+
+val pp_full : Format.formatter -> report -> unit
+(** Every row, including matches. *)

@@ -1,0 +1,38 @@
+module Event = Sbft_sim.Event
+
+type divergence = {
+  index : int;
+  expected : (int * Event.t) option;
+  got : (int * Event.t) option;
+}
+
+type verdict = { matched : int; divergence : divergence option }
+
+let compare_streams ~expected ~got =
+  let rec go i exp got =
+    match exp, got with
+    | [], [] -> { matched = i; divergence = None }
+    | [], g :: _ -> { matched = i; divergence = Some { index = i; expected = None; got = Some g } }
+    | e :: _, [] -> { matched = i; divergence = Some { index = i; expected = Some e; got = None } }
+    | e :: exp', g :: got' ->
+        (* events are ints/strings/bools only, structural equality is sound *)
+        if e = g then go (i + 1) exp' got'
+        else { matched = i; divergence = Some { index = i; expected = Some e; got = Some g } }
+  in
+  go 0 expected got
+
+let fingerprint_mismatch ~(header : Run_header.t) ~fingerprint =
+  header.fingerprint <> "" && fingerprint <> "" && header.fingerprint <> fingerprint
+
+let pp_entry fmt = function
+  | None -> Format.pp_print_string fmt "<end of stream>"
+  | Some (time, ev) -> Format.fprintf fmt "[%d] %a" time Event.pp ev
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "@[<v>first divergence at event %d:@,  recorded: %a@,  replayed: %a@]"
+    d.index pp_entry d.expected pp_entry d.got
+
+let pp_verdict fmt v =
+  match v.divergence with
+  | None -> Format.fprintf fmt "replay OK: %d events, zero divergence" v.matched
+  | Some d -> Format.fprintf fmt "replay DIVERGED after %d matching events@,%a" v.matched pp_divergence d

@@ -1,0 +1,131 @@
+module J = Sbft_sim.Json
+
+type t = {
+  schema : int;
+  seed : int64;
+  n : int;
+  f : int;
+  clients : int;
+  ops_per_client : int;
+  write_ratio : float;
+  strategy : string option;
+  corrupt : bool;
+  trace_cap : int;
+  snapshot_every : int;
+  fingerprint : string;
+}
+
+let schema_version = 1
+
+let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false) ?(trace_cap = 4096)
+    ?(snapshot_every = 0) ?(fingerprint = "") ~seed ~n ~f ~clients ~ops_per_client ~write_ratio
+    () =
+  {
+    schema;
+    seed;
+    n;
+    f;
+    clients;
+    ops_per_client;
+    write_ratio;
+    strategy;
+    corrupt;
+    trace_cap;
+    snapshot_every;
+    fingerprint;
+  }
+
+let to_json h =
+  J.Obj
+    [
+      ( "header",
+        J.Obj
+          [
+            ("schema", J.Int h.schema);
+            (* int64 seeds don't fit Json.Int portably; keep the string form *)
+            ("seed", J.String (Int64.to_string h.seed));
+            ("n", J.Int h.n);
+            ("f", J.Int h.f);
+            ("clients", J.Int h.clients);
+            ("ops_per_client", J.Int h.ops_per_client);
+            ("write_ratio", J.Float h.write_ratio);
+            ("strategy", match h.strategy with Some s -> J.String s | None -> J.Null);
+            ("corrupt", J.Bool h.corrupt);
+            ("trace_cap", J.Int h.trace_cap);
+            ("snapshot_every", J.Int h.snapshot_every);
+            ("fingerprint", J.String h.fingerprint);
+          ] );
+    ]
+
+let is_header j = match J.member "header" j with Some (J.Obj _) -> true | _ -> false
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* h =
+    match J.member "header" j with
+    | Some (J.Obj _ as h) -> Ok h
+    | _ -> Error "not a run header (no \"header\" object)"
+  in
+  let int key =
+    match J.member key h with
+    | Some (J.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "header: missing int field %S" key)
+  in
+  let* schema = int "schema" in
+  let* seed =
+    match J.member "seed" h with
+    | Some (J.String s) -> (
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error "header: unparseable seed")
+    | _ -> Error "header: missing seed"
+  in
+  let* n = int "n" in
+  let* f = int "f" in
+  let* clients = int "clients" in
+  let* ops_per_client = int "ops_per_client" in
+  let* write_ratio =
+    match J.member "write_ratio" h with
+    | Some (J.Float v) -> Ok v
+    | Some (J.Int v) -> Ok (float_of_int v)
+    | _ -> Error "header: missing write_ratio"
+  in
+  let* strategy =
+    match J.member "strategy" h with
+    | Some (J.String s) -> Ok (Some s)
+    | Some J.Null -> Ok None
+    | _ -> Error "header: missing strategy"
+  in
+  let* corrupt =
+    match J.member "corrupt" h with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error "header: missing corrupt"
+  in
+  let* trace_cap = int "trace_cap" in
+  let* snapshot_every = int "snapshot_every" in
+  let* fingerprint =
+    match J.member "fingerprint" h with
+    | Some (J.String s) -> Ok s
+    | _ -> Error "header: missing fingerprint"
+  in
+  Ok
+    {
+      schema;
+      seed;
+      n;
+      f;
+      clients;
+      ops_per_client;
+      write_ratio;
+      strategy;
+      corrupt;
+      trace_cap;
+      snapshot_every;
+      fingerprint;
+    }
+
+let pp fmt h =
+  Format.fprintf fmt "schema=%d seed=%Ld n=%d f=%d clients=%d ops=%d wr=%.2f strategy=%s%s"
+    h.schema h.seed h.n h.f h.clients h.ops_per_client h.write_ratio
+    (Option.value ~default:"-" h.strategy)
+    (if h.corrupt then " corrupt" else "")

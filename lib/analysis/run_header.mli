@@ -1,0 +1,53 @@
+(** The run header embedded as the first record of every [--trace-out]
+    artifact.
+
+    A trace that names its own seed, topology and workload is a
+    self-contained repro: [sbftreg replay] re-executes the run from the
+    header alone and diffs the regenerated event stream against the
+    recorded one, so any saved trace doubles as a regression test.  The
+    [fingerprint] (a digest of the producing binary) detects the other
+    failure mode — same inputs, different code — and turns a divergence
+    report into a bisection anchor. *)
+
+type t = {
+  schema : int;  (** artifact format version, bumped on breaking changes *)
+  seed : int64;
+  n : int;
+  f : int;
+  clients : int;
+  ops_per_client : int;
+  write_ratio : float;
+  strategy : string option;  (** Byzantine strategy name, if installed *)
+  corrupt : bool;  (** corrupt_everything at t = 0 *)
+  trace_cap : int;  (** forensic ring capacity *)
+  snapshot_every : int;  (** server-state snapshot period, 0 = off *)
+  fingerprint : string;  (** digest of the producing executable, "" = unknown *)
+}
+
+val schema_version : int
+
+val make :
+  ?schema:int ->
+  ?strategy:string option ->
+  ?corrupt:bool ->
+  ?trace_cap:int ->
+  ?snapshot_every:int ->
+  ?fingerprint:string ->
+  seed:int64 ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  ops_per_client:int ->
+  write_ratio:float ->
+  unit ->
+  t
+
+val to_json : t -> Sbft_sim.Json.t
+(** [{"header": {...}}] — distinguishable from event records, which
+    carry ["ev"]. *)
+
+val of_json : Sbft_sim.Json.t -> (t, string) result
+
+val is_header : Sbft_sim.Json.t -> bool
+
+val pp : Format.formatter -> t -> unit

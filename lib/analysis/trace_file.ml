@@ -1,0 +1,61 @@
+module J = Sbft_sim.Json
+module Event = Sbft_sim.Event
+
+type t = { header : Run_header.t option; events : (int * Event.t) list }
+
+let parse_lines lines =
+  let rec go lineno header acc = function
+    | [] -> Ok { header; events = List.rev acc }
+    | line :: rest -> (
+        if String.trim line = "" then go (lineno + 1) header acc rest
+        else
+          match J.of_string line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok j ->
+              if Run_header.is_header j then
+                match Run_header.of_json j with
+                | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+                | Ok h ->
+                    if header <> None then Error (Printf.sprintf "line %d: duplicate header" lineno)
+                    else if acc <> [] then
+                      Error (Printf.sprintf "line %d: header after events" lineno)
+                    else go (lineno + 1) (Some h) acc rest
+              else
+                match Event.of_json j with
+                | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+                | Ok te -> go (lineno + 1) header (te :: acc) rest)
+  in
+  go 1 None [] lines
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        Ok (read []))
+  with
+  | exception Sys_error e -> Error e
+  | Error e -> Error e
+  | Ok lines -> parse_lines lines
+
+let save ~path ?header events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      (match header with
+      | Some h ->
+          output_string oc (J.to_string (Run_header.to_json h));
+          output_char oc '\n'
+      | None -> ());
+      List.iter
+        (fun (time, ev) ->
+          output_string oc (J.to_string (Event.to_json ~time ev));
+          output_char oc '\n')
+        events)

@@ -1,0 +1,21 @@
+(** Loading [--trace-out] JSONL artifacts back into typed form.
+
+    A trace file is one JSON object per line: an optional {!Run_header}
+    record first, then {!Sbft_sim.Event} records in emission order.
+    Loading is strict — a malformed line is an [Error] naming its line
+    number, because a silently truncated trace would make replay report
+    a bogus divergence. *)
+
+type t = {
+  header : Run_header.t option;
+  events : (int * Sbft_sim.Event.t) list;  (** (time, event), emission order *)
+}
+
+val parse_lines : string list -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and parse the file at the given path. *)
+
+val save : path:string -> ?header:Run_header.t -> (int * Sbft_sim.Event.t) list -> unit
+(** Write a trace artifact: header line (when given) followed by one
+    event per line — the same format [--trace-out] streams. *)

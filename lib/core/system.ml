@@ -17,8 +17,11 @@ type t = {
   fault_rng : Rng.t;
 }
 
-let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ?(trace = false) ?transport ?engine cfg =
-  let engine = match engine with Some e -> e | None -> Engine.create ~trace ~seed () in
+let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ?(trace = false) ?(trace_capacity = 4096)
+    ?transport ?engine cfg =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ~trace ~trace_capacity ~seed ()
+  in
   let net =
     Network.create engine ~endpoints:(Config.endpoints cfg) ~delay ~classify:Msg.classify
       ?transport ()

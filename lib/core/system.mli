@@ -14,12 +14,15 @@ val create :
   ?seed:int64 ->
   ?delay:Sbft_channel.Delay.t ->
   ?trace:bool ->
+  ?trace_capacity:int ->
   ?transport:Sbft_channel.Network.transport ->
   ?engine:Sbft_sim.Engine.t ->
   Config.t ->
   t
 (** Build and wire a deployment. Default seed [42L], default delay
-    [Delay.uniform ~max:10], default transport [Direct].  Pass
+    [Delay.uniform ~max:10], default transport [Direct].
+    [trace_capacity] sizes the forensic event ring (default 4096
+    entries; sinks always see every event regardless).  Pass
     [Over_datalink] to run the register over the full channel stack —
     stabilizing data-links over bounded lossy non-FIFO channels — at
     roughly an order of magnitude more low-level packets.  Pass

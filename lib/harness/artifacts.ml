@@ -17,7 +17,7 @@ let histogram_json (h : Metrics.hist_snapshot) =
       ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
     ]
 
-let metrics_json ?(run = []) ?stabilization ?regularity ~metrics ~per_node () =
+let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ~metrics ~per_node () =
   let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in
   let histograms = List.map (fun (k, h) -> (k, histogram_json h)) (Metrics.histograms metrics) in
   let nodes =
@@ -40,6 +40,9 @@ let metrics_json ?(run = []) ?stabilization ?regularity ~metrics ~per_node () =
     | Some (checked, violations) ->
         base @ [ ("regularity", J.Obj [ ("checked", J.Int checked); ("violations", J.Int violations) ]) ]
     | None -> base
+  in
+  let base =
+    match telemetry with Some j -> base @ [ ("telemetry", j) ] | None -> base
   in
   J.Obj ((if run = [] then [] else [ ("run", J.Obj run) ]) @ base)
 

@@ -10,7 +10,8 @@
       "per_node":      [ { "id", "sent", "delivered" }, ... ],
       "stabilization": { "corruption_tick", "last_abort",
                          "first_clean_read", "convergence_ticks" },
-      "regularity":    { "checked", "violations" } }
+      "regularity":    { "checked", "violations" },
+      "telemetry":     { "snapshots", "series", "summary" } }
     v}
     Metric names are the registry's ({!Sbft_sim.Metric_names});
     histogram percentiles are nearest-rank over the fixed buckets
@@ -22,10 +23,12 @@ val metrics_json :
   ?run:(string * Sbft_sim.Json.t) list ->
   ?stabilization:Probe.report ->
   ?regularity:int * int ->
+  ?telemetry:Sbft_sim.Json.t ->
   metrics:Sbft_sim.Metrics.t ->
   per_node:(int * int) array ->
   unit ->
   Sbft_sim.Json.t
-(** [regularity] is [(checked, violations)]. *)
+(** [regularity] is [(checked, violations)]; [telemetry] is
+    {!Telemetry.to_json}'s convergence block, embedded verbatim. *)
 
 val write_file : path:string -> Sbft_sim.Json.t -> unit

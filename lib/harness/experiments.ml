@@ -248,6 +248,26 @@ let e5_stabilization () =
       scenario "everything" (fun sys -> System.corrupt_everything sys ~severity:`Heavy);
     ]
 
+(* E5's worst row ("everything"), re-run with the convergence probe
+   attached: the full abort-rate / label-occupancy curves behind the
+   table's scalar summary.  Exported through [sbftreg experiment e5
+   --metrics-out] and plotted in EXPERIMENTS.md. *)
+let stabilization_telemetry ?(seed = 11L) ?(snapshot_every = 25) () =
+  let sys = make_core ~seed ~n:6 ~f:1 ~clients:5 ~strategy:Strategies.stale_replay () in
+  System.corrupt_everything sys ~severity:`Heavy;
+  let telemetry = Telemetry.attach ~snapshot_every sys in
+  let reg = Register.core sys in
+  let _ =
+    Workload.run ~spec:{ Workload.default with ops_per_client = 20; write_ratio = 0.3 } reg
+  in
+  let h = System.history sys in
+  let after = Option.value ~default:max_int (first_write_completion h) in
+  let stale_reads =
+    (Sbft_spec.Regularity.check ~after ~ts_prec:Mw_ts.prec h).violations
+    |> List.map (fun (v : Sbft_spec.Regularity.violation) -> v.read_id)
+  in
+  Telemetry.to_json telemetry ~history:h ~stale_reads ()
+
 (* ------------------------------------------------------------------ *)
 
 let e6_bounded_labels () =

@@ -37,6 +37,11 @@ val e4_regularity : unit -> Table.t
 
 val e5_stabilization : unit -> Table.t
 
+val stabilization_telemetry : ?seed:int64 -> ?snapshot_every:int -> unit -> Sbft_sim.Json.t
+(** E5's "everything" scenario re-run with {!Telemetry} attached: the
+    windowed abort-rate and label-occupancy curves behind the table's
+    scalars (default seed 11, snapshots every 25 ticks). *)
+
 val e6_bounded_labels : unit -> Table.t
 
 val e7_mwmr_order : unit -> Table.t

@@ -37,7 +37,9 @@ let pp_edges fmt ops =
   in
   pairs ops
 
-let dump_violation fmt ~trace ~history (v : Regularity.violation) =
+let default_name i = Printf.sprintf "n%d" i
+
+let dump_violation ?(name = default_name) fmt ~trace ~history (v : Regularity.violation) =
   let ops = List.filter_map (op_info history) (List.sort_uniq compare v.ops) in
   Format.fprintf fmt "@[<v>violation: %s@," v.detail;
   Format.fprintf fmt "  implicated operations:@,";
@@ -61,13 +63,28 @@ let dump_violation fmt ~trace ~history (v : Regularity.violation) =
       in
       Format.fprintf fmt "  trace window [%d, %d] (%d events, %d shown):@," from_time until
         (List.length window) (List.length relevant);
-      if Trace.enabled trace then
-        List.iter (fun (time, ev) -> Format.fprintf fmt "    [%d] %a@," time Event.pp ev) relevant
+      if Trace.enabled trace then begin
+        List.iter (fun (time, ev) -> Format.fprintf fmt "    [%d] %a@," time Event.pp ev) relevant;
+        (* the causal cone: the happened-before slice of the window
+           that can reach (or be reached from) the violating read —
+           everything else in the window is noise *)
+        if v.read_id >= 0 then begin
+          let cone =
+            Sbft_analysis.Causality.cone (Sbft_analysis.Causality.build window) ~op_id:v.read_id
+          in
+          if Array.length cone.nodes > 0 then begin
+            Format.fprintf fmt "  causal cone of read %d (%d of %d events):@," v.read_id
+              (Array.length cone.nodes) (List.length window);
+            String.split_on_char '\n' (Sbft_analysis.Causality.ascii ~name cone)
+            |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "    %s@," line)
+          end
+        end
+      end
       else Format.fprintf fmt "    (trace was disabled; re-run with tracing for the event log)@,");
   Format.fprintf fmt "@]"
 
-let dump fmt ~trace ~history violations =
-  List.iter (fun v -> dump_violation fmt ~trace ~history v) violations
+let dump ?name fmt ~trace ~history violations =
+  List.iter (fun v -> dump_violation ?name fmt ~trace ~history v) violations
 
-let dump_string ~trace ~history violations =
-  Format.asprintf "%a" (fun fmt () -> dump fmt ~trace ~history violations) ()
+let dump_string ?name ~trace ~history violations =
+  Format.asprintf "%a" (fun fmt () -> dump ?name fmt ~trace ~history violations) ()

@@ -16,9 +16,15 @@
       explicit;
     - the retained trace events in the window, filtered to the
       implicated spans plus every non-operation event (messages,
-      faults) that fired inside it. *)
+      faults) that fired inside it;
+    - the violating read's causal cone through the window, rendered as
+      an ASCII space-time diagram ({!Sbft_analysis.Causality}) —
+      message-level happened-before, not just operation-level.
+
+    [name] renders endpoint ids in the diagram (default [n<i>]). *)
 
 val dump_violation :
+  ?name:(int -> string) ->
   Format.formatter ->
   trace:Sbft_sim.Trace.t ->
   history:'ts Sbft_spec.History.t ->
@@ -26,6 +32,7 @@ val dump_violation :
   unit
 
 val dump :
+  ?name:(int -> string) ->
   Format.formatter ->
   trace:Sbft_sim.Trace.t ->
   history:'ts Sbft_spec.History.t ->
@@ -33,6 +40,7 @@ val dump :
   unit
 
 val dump_string :
+  ?name:(int -> string) ->
   trace:Sbft_sim.Trace.t ->
   history:'ts Sbft_spec.History.t ->
   Sbft_spec.Regularity.violation list ->

@@ -1,0 +1,115 @@
+module Engine = Sbft_sim.Engine
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
+module Config = Sbft_core.Config
+module System = Sbft_core.System
+module Strategy = Sbft_byz.Strategy
+module Strategies = Sbft_byz.Strategies
+module Regularity = Sbft_spec.Regularity
+module Run_header = Sbft_analysis.Run_header
+
+type t = {
+  n : int;
+  f : int;
+  clients : int;
+  seed : int64;
+  ops_per_client : int;
+  write_ratio : float;
+  strategy : string option;
+  corrupt : bool;
+  trace_cap : int;
+  snapshot_every : int;
+}
+
+let default =
+  {
+    n = 6;
+    f = 1;
+    clients = 4;
+    seed = 42L;
+    ops_per_client = 25;
+    write_ratio = 0.3;
+    strategy = None;
+    corrupt = false;
+    trace_cap = 4096;
+    snapshot_every = 50;
+  }
+
+let to_header ?(fingerprint = "") t =
+  Run_header.make ~strategy:t.strategy ~corrupt:t.corrupt ~trace_cap:t.trace_cap
+    ~snapshot_every:t.snapshot_every ~fingerprint ~seed:t.seed ~n:t.n ~f:t.f ~clients:t.clients
+    ~ops_per_client:t.ops_per_client ~write_ratio:t.write_ratio ()
+
+let of_header (h : Run_header.t) =
+  {
+    n = h.n;
+    f = h.f;
+    clients = h.clients;
+    seed = h.seed;
+    ops_per_client = h.ops_per_client;
+    write_ratio = h.write_ratio;
+    strategy = h.strategy;
+    corrupt = h.corrupt;
+    trace_cap = h.trace_cap;
+    snapshot_every = h.snapshot_every;
+  }
+
+type run = {
+  sys : System.t;
+  reg : Register.t;
+  outcome : Workload.outcome;
+  report : Regularity.report;
+  probe : Probe.report;
+  telemetry : Telemetry.t;
+  after : int;
+  events : (int * Event.t) list;
+}
+
+let violation_kind (v : Regularity.violation) =
+  match v.kind with
+  | `Stale -> "stale"
+  | `Future -> "future"
+  | `Unwritten -> "unwritten"
+  | `Inversion _ -> "inversion"
+  | `Order -> "order"
+
+let execute ?sink t =
+  let resolve_strategy =
+    match t.strategy with
+    | None -> Ok None
+    | Some name -> (
+        match List.assoc_opt name Strategies.all with
+        | Some s -> Ok (Some s)
+        | None ->
+            Error
+              (Printf.sprintf "unknown strategy %S; known: %s" name
+                 (String.concat ", " (List.map fst Strategies.all))))
+  in
+  match resolve_strategy with
+  | Error _ as e -> e
+  | Ok strategy ->
+      let cfg = Config.make ~allow_unsafe:true ~n:t.n ~f:t.f ~clients:t.clients () in
+      let sys = System.create ~seed:t.seed ~trace:true ~trace_capacity:t.trace_cap cfg in
+      let engine = System.engine sys in
+      let tr = Engine.trace engine in
+      let events = ref [] in
+      Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
+      Option.iter (Trace.add_sink tr) sink;
+      (match strategy with Some s -> ignore (Strategy.install_all sys s) | None -> ());
+      if t.corrupt then System.corrupt_everything sys ~severity:`Heavy;
+      let telemetry = Telemetry.attach ~snapshot_every:t.snapshot_every sys in
+      let reg = Register.core sys in
+      let spec =
+        { Workload.default with ops_per_client = t.ops_per_client; write_ratio = t.write_ratio }
+      in
+      let outcome = Workload.run ~spec reg in
+      let after = Option.value ~default:max_int (reg.first_write_completion ()) in
+      let history = System.history sys in
+      let report = Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
+      List.iter
+        (fun (v : Regularity.violation) ->
+          Trace.emit tr ~time:(Engine.now engine)
+            (Event.Violation { op_id = v.read_id; kind = violation_kind v; detail = v.detail }))
+        report.violations;
+      let probe = Probe.analyze ~corruption:0 history in
+      Ok { sys; reg; outcome; report; probe; telemetry; after; events = List.rev !events }

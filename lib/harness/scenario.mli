@@ -1,0 +1,54 @@
+(** One runnable scenario: the parameters of a [sbftreg run]
+    invocation as a value.
+
+    Record and replay must share a single code path — any drift between
+    "what the CLI does" and "what the replayer does" shows up as false
+    divergence.  So the whole run lives here: build the system, install
+    the Byzantine strategy, corrupt initial state, attach telemetry,
+    drive the workload, audit regularity and emit the
+    {!Sbft_sim.Event.Violation} records into the trace.  The CLI's
+    [run] renders {!execute}'s result to stdout and artifact files;
+    [replay] executes the scenario decoded from a trace header and
+    compares event streams.  A scenario converts losslessly to and from
+    {!Sbft_analysis.Run_header.t}. *)
+
+type t = {
+  n : int;
+  f : int;
+  clients : int;
+  seed : int64;
+  ops_per_client : int;
+  write_ratio : float;
+  strategy : string option;
+  corrupt : bool;
+  trace_cap : int;
+  snapshot_every : int;  (** 0 = no telemetry snapshots *)
+}
+
+val default : t
+(** The CLI's defaults: n=6, f=1, 4 clients, seed 42, 25 ops/client,
+    write ratio 0.3, trace cap 4096, snapshots every 50 ticks. *)
+
+val to_header : ?fingerprint:string -> t -> Sbft_analysis.Run_header.t
+
+val of_header : Sbft_analysis.Run_header.t -> t
+
+type run = {
+  sys : Sbft_core.System.t;
+  reg : Register.t;
+  outcome : Workload.outcome;
+  report : Sbft_spec.Regularity.report;
+  probe : Probe.report;
+  telemetry : Telemetry.t;
+  after : int;  (** first write completion — the audit suffix start *)
+  events : (int * Sbft_sim.Event.t) list;  (** every emitted event, in order *)
+}
+
+val execute : ?sink:Sbft_sim.Trace.sink -> t -> (run, string) result
+(** Run the scenario to quiescence.  [sink] additionally observes every
+    event as it is emitted (e.g. [Trace.jsonl_sink] for [--trace-out]);
+    [events] always collects the full stream for replay comparison.
+    [Error] only for an unknown strategy name. *)
+
+val violation_kind : Sbft_spec.Regularity.violation -> string
+(** Short tag for the event record: stale/future/unwritten/inversion/order. *)

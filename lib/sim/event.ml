@@ -12,6 +12,7 @@ type t =
   | Op_phase of { op_id : int; client : int; phase : string; ticks : int }
   | Op_finished of { op_id : int; client : int; kind : string; outcome : string; ticks : int }
   | Violation of { op_id : int; kind : string; detail : string }
+  | Server_state of { server : int; value : int; ts : string; sting : int; hist_len : int; readers : int }
   | Note of { detail : string }
 
 let op_id = function
@@ -22,7 +23,7 @@ let op_id = function
   | Violation { op_id; _ } ->
       Some op_id
   | Msg_sent _ | Msg_delivered _ | Msg_dropped _ | Retransmit _ | Ack_roundtrip _
-  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Note _ ->
+  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Server_state _ | Note _ ->
       None
 
 let endpoints = function
@@ -35,7 +36,21 @@ let endpoints = function
       [ client ]
   | Label_adopted { server; writer; _ } -> [ server; writer ]
   | Epoch_changed { node; _ } -> [ node ]
+  | Server_state { server; _ } -> [ server ]
   | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ -> []
+
+let location = function
+  | Msg_sent { src; _ } -> Some src
+  | Msg_delivered { dst; _ } | Msg_dropped { dst; _ } -> Some dst
+  | Quorum_formed { client; _ }
+  | Op_started { client; _ }
+  | Op_phase { client; _ }
+  | Op_finished { client; _ } ->
+      Some client
+  | Label_adopted { server; _ } -> Some server
+  | Epoch_changed { node; _ } -> Some node
+  | Server_state { server; _ } -> Some server
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ -> None
 
 let name = function
   | Msg_sent _ -> "msg_sent"
@@ -51,6 +66,7 @@ let name = function
   | Op_phase _ -> "op_phase"
   | Op_finished _ -> "op_finished"
   | Violation _ -> "violation"
+  | Server_state _ -> "server_state"
   | Note _ -> "note"
 
 let to_json ~time ev =
@@ -85,6 +101,16 @@ let to_json ~time ev =
         ]
   | Violation { op_id; kind; detail } ->
       base [ ("op_id", i op_id); ("kind", s kind); ("detail", s detail) ]
+  | Server_state { server; value; ts; sting; hist_len; readers } ->
+      base
+        [
+          ("server", i server);
+          ("value", i value);
+          ("ts", s ts);
+          ("sting", i sting);
+          ("hist_len", i hist_len);
+          ("readers", i readers);
+        ]
   | Note { detail } -> base [ ("detail", s detail) ]
 
 let pp fmt = function
@@ -108,6 +134,113 @@ let pp fmt = function
       Format.fprintf fmt "op=%d c%d %s -> %s in %d" op_id client kind outcome ticks
   | Violation { op_id; kind; detail } ->
       Format.fprintf fmt "VIOLATION op=%d [%s] %s" op_id kind detail
+  | Server_state { server; value; ts; sting = _; hist_len; readers } ->
+      Format.fprintf fmt "s%d state v=%d ts=%s hist=%d readers=%d" server value ts hist_len
+        readers
   | Note { detail } -> Format.pp_print_string fmt detail
 
 let to_string ev = Format.asprintf "%a" pp ev
+
+(* ------------------------------------------------------------------ *)
+(* Parsing trace records back (replay, causal analysis). *)
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int key =
+    match Json.member key j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "missing int field %S" key)
+  in
+  let str key =
+    match Json.member key j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" key)
+  in
+  let bool key =
+    match Json.member key j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "missing bool field %S" key)
+  in
+  let* time = int "t" in
+  let* ev = str "ev" in
+  let* event =
+    match ev with
+    | "msg_sent" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* kind = str "kind" in
+        Ok (Msg_sent { src; dst; kind })
+    | "msg_delivered" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* kind = str "kind" in
+        Ok (Msg_delivered { src; dst; kind })
+    | "msg_dropped" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* kind = str "kind" in
+        let* reason = str "reason" in
+        Ok (Msg_dropped { src; dst; kind; reason })
+    | "retransmit" ->
+        let* label = int "label" in
+        Ok (Retransmit { label })
+    | "ack_roundtrip" ->
+        let* label = int "label" in
+        let* ticks = int "ticks" in
+        Ok (Ack_roundtrip { label; ticks })
+    | "quorum_formed" ->
+        let* op_id = int "op_id" in
+        let* client = int "client" in
+        let* phase = str "phase" in
+        let* size = int "size" in
+        Ok (Quorum_formed { op_id; client; phase; size })
+    | "label_adopted" ->
+        let* server = int "server" in
+        let* writer = int "writer" in
+        let* ack = bool "ack" in
+        Ok (Label_adopted { server; writer; ack })
+    | "epoch_changed" ->
+        let* node = int "node" in
+        let* epoch = int "epoch" in
+        let* what = str "what" in
+        Ok (Epoch_changed { node; epoch; what })
+    | "fault_injected" ->
+        let* desc = str "desc" in
+        Ok (Fault_injected { desc })
+    | "op_started" ->
+        let* op_id = int "op_id" in
+        let* client = int "client" in
+        let* kind = str "kind" in
+        Ok (Op_started { op_id; client; kind })
+    | "op_phase" ->
+        let* op_id = int "op_id" in
+        let* client = int "client" in
+        let* phase = str "phase" in
+        let* ticks = int "ticks" in
+        Ok (Op_phase { op_id; client; phase; ticks })
+    | "op_finished" ->
+        let* op_id = int "op_id" in
+        let* client = int "client" in
+        let* kind = str "kind" in
+        let* outcome = str "outcome" in
+        let* ticks = int "ticks" in
+        Ok (Op_finished { op_id; client; kind; outcome; ticks })
+    | "violation" ->
+        let* op_id = int "op_id" in
+        let* kind = str "kind" in
+        let* detail = str "detail" in
+        Ok (Violation { op_id; kind; detail })
+    | "server_state" ->
+        let* server = int "server" in
+        let* value = int "value" in
+        let* ts = str "ts" in
+        let* sting = int "sting" in
+        let* hist_len = int "hist_len" in
+        let* readers = int "readers" in
+        Ok (Server_state { server; value; ts; sting; hist_len; readers })
+    | "note" ->
+        let* detail = str "detail" in
+        Ok (Note { detail })
+    | other -> Error (Printf.sprintf "unknown event name %S" other)
+  in
+  Ok (time, event)

@@ -38,6 +38,10 @@ type t =
           ["flush"]/["decide"] for reads *)
   | Op_finished of { op_id : int; client : int; kind : string; outcome : string; ticks : int }
   | Violation of { op_id : int; kind : string; detail : string }
+  | Server_state of { server : int; value : int; ts : string; sting : int; hist_len : int; readers : int }
+      (** periodic convergence snapshot of one server: stored value,
+          rendered timestamp, its SBLS sting (for label-space occupancy
+          series), history-window fill and pending running-reader count *)
   | Note of { detail : string }  (** free-form escape hatch ({!Trace.log}) *)
 
 val op_id : t -> int option
@@ -46,12 +50,24 @@ val op_id : t -> int option
 val endpoints : t -> int list
 (** Endpoints mentioned by the event (empty when none). *)
 
+val location : t -> int option
+(** The endpoint where the event {e happens}: a send at its source, a
+    delivery (or drop) at its destination, an operation event at its
+    client, a snapshot or adoption at its server.  [None] for events
+    with no natural lifeline (faults, data-link internals, notes) —
+    the space-time diagram renders those rows without a marker. *)
+
 val name : t -> string
 (** Stable snake_case constructor name, the ["ev"] field of the JSON
     encoding. *)
 
 val to_json : time:int -> t -> Json.t
 (** One JSONL record: [{"t": time, "ev": name, ...payload}]. *)
+
+val of_json : Json.t -> (int * t, string) result
+(** Inverse of {!to_json}: parse one trace record back into its
+    timestamp and typed event.  Total over the artifact format; unknown
+    ["ev"] names and missing fields are [Error]s naming the problem. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -96,8 +96,35 @@ let literal c word value =
   end
   else fail c (Printf.sprintf "expected %s" word)
 
+(* UTF-8 encode one Unicode scalar value. *)
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string_body c =
   let b = Buffer.create 16 in
+  let hex4 () =
+    if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
+    let hex = String.sub c.src c.pos 4 in
+    c.pos <- c.pos + 4;
+    match int_of_string_opt ("0x" ^ hex) with
+    | Some code -> code
+    | None -> fail c "bad \\u escape"
+  in
   let rec go () =
     match peek c with
     | None -> fail c "unterminated string"
@@ -115,14 +142,25 @@ let parse_string_body c =
         | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
         | Some 'u' ->
             advance c;
-            if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
-            let hex = String.sub c.src c.pos 4 in
-            c.pos <- c.pos + 4;
-            let code = int_of_string ("0x" ^ hex) in
-            (* Only BMP code points below 0x80 round-trip as a byte; keep
-               the raw escape otherwise — artifacts never emit them. *)
-            if code < 0x80 then Buffer.add_char b (Char.chr code)
-            else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+            let code = hex4 () in
+            (* A high surrogate must pair with a following \uDC00-\uDFFF
+               low surrogate; decode the pair into one scalar value. *)
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              if
+                c.pos + 6 <= String.length c.src
+                && c.src.[c.pos] = '\\'
+                && c.src.[c.pos + 1] = 'u'
+              then begin
+                c.pos <- c.pos + 2;
+                let low = hex4 () in
+                if low >= 0xDC00 && low <= 0xDFFF then
+                  add_utf8 b (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+                else fail c "unpaired surrogate"
+              end
+              else fail c "unpaired surrogate"
+            end
+            else if code >= 0xDC00 && code <= 0xDFFF then fail c "unpaired surrogate"
+            else add_utf8 b code;
             go ()
         | _ -> fail c "bad escape")
     | Some ch ->

@@ -3,9 +3,10 @@
     The run artifacts ([--trace-out] JSONL, [--metrics-out] snapshots)
     are plain JSON, and the container has no JSON library — this is
     the small closed-world implementation they share.  The emitter
-    escapes control characters; the parser accepts exactly what the
-    emitter produces (plus whitespace), which is all the tests need to
-    verify the artifacts parse back. *)
+    escapes control characters and passes UTF-8 bytes through; the
+    parser accepts everything the emitter produces plus standard JSON
+    escapes ([\uXXXX] sequences, including surrogate pairs, decode to
+    UTF-8), so foreign artifacts load too. *)
 
 type t =
   | Null

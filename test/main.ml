@@ -8,7 +8,10 @@ let () =
       ("engine", Test_engine.suite);
       ("metrics+trace", Test_metrics.suite);
       ("metric-names", Test_metric_names.suite);
+      ("json", Test_json.suite);
       ("observability", Test_observability.suite);
+      ("analysis", Test_analysis.suite);
+      ("replay", Test_replay.suite);
       ("network", Test_network.suite);
       ("lossy", Test_lossy.suite);
       ("datalink", Test_datalink.suite);

@@ -1,0 +1,149 @@
+(* The JSON emitter/parser pair: round trips, unicode escapes, float
+   formatting edge cases.  The artifact pipeline (trace replay, diff)
+   leans on of_string (to_string j) = Ok j. *)
+
+module J = Sbft_sim.Json
+
+let json_eq = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (J.to_string j)) ( = )
+
+let roundtrip ?msg j =
+  match J.of_string (J.to_string j) with
+  | Ok j' -> Alcotest.check json_eq (Option.value ~default:(J.to_string j) msg) j j'
+  | Error e -> Alcotest.failf "parse failed on %s: %s" (J.to_string j) e
+
+let parses s expected =
+  match J.of_string s with
+  | Ok j -> Alcotest.check json_eq s expected j
+  | Error e -> Alcotest.failf "parse failed on %s: %s" s e
+
+let rejects s =
+  match J.of_string s with
+  | Ok j -> Alcotest.failf "expected failure on %s, got %s" s (J.to_string j)
+  | Error _ -> ()
+
+let test_scalars () =
+  List.iter roundtrip
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Int 0;
+      J.Int (-17);
+      J.Int max_int;
+      J.Int min_int;
+      J.String "";
+      J.String "plain";
+    ]
+
+let test_string_escaping () =
+  List.iter
+    (fun s -> roundtrip (J.String s))
+    [
+      "quote \" backslash \\ slash /";
+      "newline \n tab \t return \r";
+      "control \x00 \x01 \x1f bytes";
+      "high bytes passed through: caf\xc3\xa9 \xe2\x82\xac";
+      String.init 256 Char.chr;
+    ]
+
+let test_unicode_escapes () =
+  parses {|"\u0041"|} (J.String "A");
+  parses {|"\u00e9"|} (J.String "\xc3\xa9") (* e-acute: 2-byte UTF-8 *);
+  parses {|"\u20ac"|} (J.String "\xe2\x82\xac") (* euro sign: 3-byte *);
+  parses {|"\ud83d\ude00"|} (J.String "\xf0\x9f\x98\x80") (* emoji: surrogate pair, 4-byte *);
+  parses {|"\u0000"|} (J.String "\x00");
+  parses {|"\u00E9"|} (J.String "\xc3\xa9") (* case-insensitive hex *);
+  rejects {|"\ud83d"|} (* unpaired high surrogate *);
+  rejects {|"\ud83dA"|} (* high surrogate not followed by low *);
+  rejects {|"\ude00"|} (* lone low surrogate *);
+  rejects {|"\u12g4"|} (* bad hex *);
+  rejects {|"\u12"|} (* truncated *)
+
+let test_nesting () =
+  roundtrip (J.List []);
+  roundtrip (J.Obj []);
+  roundtrip (J.List [ J.List [ J.List [ J.Int 1 ] ]; J.List []; J.Null ]);
+  roundtrip
+    (J.Obj
+       [
+         ("a", J.List [ J.Int 1; J.Obj [ ("b", J.List [ J.Bool false; J.String "x" ]) ] ]);
+         ("empty", J.Obj []);
+         ("dup-ok", J.Int 1);
+       ]);
+  (* whitespace tolerance *)
+  parses "  [ 1 , { \"k\" : null } ]  " (J.List [ J.Int 1; J.Obj [ ("k", J.Null) ] ])
+
+let test_floats () =
+  List.iter
+    (fun f -> roundtrip ~msg:(string_of_float f) (J.Float f))
+    [
+      0.0;
+      1.5;
+      -2.25;
+      0.1;
+      1.0 /. 3.0;
+      1e-7;
+      6.02e23;
+      4.9e-324 (* denormal min *);
+      1.7976931348623157e308 (* max_float *);
+      -0.0;
+    ];
+  (* infinities survive via the 1e999 overflow trick *)
+  (match J.of_string (J.to_string (J.Float infinity)) with
+  | Ok (J.Float f) -> Alcotest.(check bool) "inf" true (f = infinity)
+  | other -> Alcotest.failf "inf: %s" (match other with Ok j -> J.to_string j | Error e -> e));
+  (* NaN has no JSON form and is emitted as null *)
+  Alcotest.(check string) "nan -> null" "null" (J.to_string (J.Float nan));
+  (* ints and floats stay distinct through the pipe *)
+  parses "3" (J.Int 3);
+  (match J.of_string "3.0" with
+  | Ok (J.Float _) -> ()
+  | _ -> Alcotest.fail "3.0 should parse as a float");
+  parses "-17e0" (J.Float (-17.0))
+
+let test_malformed () =
+  List.iter rejects
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing"; "{\"a\" 1}" ]
+
+(* property: any tree built from the artifact vocabulary survives *)
+let gen_json =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Sbft_sim.Json.Null;
+            map (fun b -> Sbft_sim.Json.Bool b) bool;
+            map (fun i -> Sbft_sim.Json.Int i) int;
+            map (fun f -> Sbft_sim.Json.Float f) (float_bound_inclusive 1e9);
+            map (fun s -> Sbft_sim.Json.String s) (string_size ~gen:char (int_bound 12));
+          ]
+      in
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (2, scalar);
+            (1, map (fun l -> Sbft_sim.Json.List l) (list_size (int_bound 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs -> Sbft_sim.Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2)))) );
+          ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json round trip"
+    (QCheck.make ~print:J.to_string gen_json)
+    (fun j -> J.of_string (J.to_string j) = Ok j)
+
+let suite =
+  [
+    Alcotest.test_case "scalars round trip" `Quick test_scalars;
+    Alcotest.test_case "string escaping round trips" `Quick test_string_escaping;
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick test_unicode_escapes;
+    Alcotest.test_case "nested arrays and objects" `Quick test_nesting;
+    Alcotest.test_case "float formatting edge cases" `Quick test_floats;
+    Alcotest.test_case "malformed input rejected" `Quick test_malformed;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
