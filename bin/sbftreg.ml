@@ -8,14 +8,22 @@
      experiment run one experiment table (or "all")
      attack     replay the Theorem 1 lower-bound schedule
      labels     poke at the bounded labeling system
-     trace      run a tiny scenario with the event trace enabled *)
+     trace      run a tiny scenario with the event trace enabled
+     explore    sweep the fixed schedule grid for counterexamples
+     fuzz       coverage-guided mutation over whole scenarios
+     shrink     minimize a failing trace to a one-line reproducer
+     corpus     replay the committed regression corpus *)
 
 open Cmdliner
 module Scenario = Sbft_harness.Scenario
+module Fuzz = Sbft_harness.Fuzz
+module Shrink = Sbft_harness.Shrink
+module Fault_plan = Sbft_byz.Fault_plan
 module Run_header = Sbft_analysis.Run_header
 module Trace_file = Sbft_analysis.Trace_file
 module Replay = Sbft_analysis.Replay
 module Causality = Sbft_analysis.Causality
+module Corpus = Sbft_analysis.Corpus
 
 let outcome_str = function
   | Sbft_spec.History.Value v -> Printf.sprintf "value %d" v
@@ -35,9 +43,38 @@ let fingerprint () = try Digest.to_hex (Digest.file Sys.executable_name) with Sy
 
 let endpoint_name ~n i = if i < n then Printf.sprintf "s%d" i else Printf.sprintf "c%d" i
 
+(* The one-line `sbftreg run` invocation reproducing a scenario — what
+   a fuzz finding or shrunk counterexample prints so it can be pasted
+   straight into a shell or a bug report. *)
+let repro_invocation (s : Scenario.t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "sbftreg run -n %d -f %d --clients %d --seed %Ld --ops %d --write-ratio %g"
+       s.n s.f s.clients s.seed s.ops_per_client s.write_ratio);
+  if s.delay <> Run_header.default_delay_policy then
+    Buffer.add_string b (Printf.sprintf " --delay %s" s.delay);
+  Option.iter (fun st -> Buffer.add_string b (Printf.sprintf " --byzantine %s" st)) s.strategy;
+  if s.corrupt then Buffer.add_string b " --corrupt";
+  if s.plan <> [] then
+    Buffer.add_string b (Printf.sprintf " --plan '%s'" (Fault_plan.to_string s.plan));
+  Buffer.contents b
+
+let plan_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault_plan.of_string s) in
+  let print fmt p = Format.pp_print_string fmt (Fault_plan.to_string p) in
+  Arg.conv (parse, print)
+
+let delay_arg =
+  let names = List.map fst Scenario.policies in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) Run_header.default_delay_policy
+    & info [ "delay" ] ~docv:"POLICY"
+        ~doc:(Printf.sprintf "Delay policy: %s." (String.concat ", " names)))
+
 let run_cmd =
-  let go n f clients seed ops write_ratio strategy corrupt trace_cap snapshot_every trace_out
-      metrics_out =
+  let go n f clients seed ops write_ratio strategy corrupt delay plan trace_cap snapshot_every
+      note trace_out metrics_out =
     let scenario =
       {
         Scenario.n;
@@ -48,28 +85,19 @@ let run_cmd =
         write_ratio;
         strategy;
         corrupt;
+        delay;
+        plan;
         trace_cap;
         snapshot_every;
       }
     in
     (* open both artifact files before the run: a bad path should fail
-       here, not after the simulation has burned its budget *)
-    let trace_oc =
-      Option.map
-        (fun path ->
-          let oc = open_out_or_die path in
-          (* the header makes the artifact a self-contained repro for
-             `sbftreg replay` *)
-          output_string oc
-            (Sbft_sim.Json.to_string
-               (Run_header.to_json (Scenario.to_header ~fingerprint:(fingerprint ()) scenario)));
-          output_char oc '\n';
-          (path, oc))
-        trace_out
-    in
+       here, not after the simulation has burned its budget (the trace
+       itself is written after the run so its header can record the
+       checker's verdict, making the artifact corpus-ready) *)
+    Option.iter (fun path -> close_out (open_out_or_die path)) trace_out;
     let metrics_oc = Option.map (fun path -> (path, open_out_or_die path)) metrics_out in
-    let sink = Option.map (fun (_, oc) -> Sbft_sim.Trace.jsonl_sink oc) trace_oc in
-    match Scenario.execute ?sink scenario with
+    match Scenario.execute scenario with
     | Error msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
@@ -102,10 +130,12 @@ let run_cmd =
         pp "read" (Sbft_harness.Stats.summarize rd);
         if corrupt then Format.printf "%a@." Sbft_harness.Probe.pp r.probe;
         Option.iter
-          (fun (path, oc) ->
-            close_out oc;
-            Printf.printf "wrote %s (%d events)\n" path (List.length r.events))
-          trace_oc;
+          (fun path ->
+            let verdict = Scenario.verdict_to_string (Scenario.verdict_of_run r) in
+            let header = Scenario.to_header ~fingerprint:(fingerprint ()) ~verdict ~note scenario in
+            Trace_file.save ~path ~header r.events;
+            Printf.printf "wrote %s (%d events, verdict %s)\n" path (List.length r.events) verdict)
+          trace_out;
         Option.iter
           (fun (path, oc) ->
             let module J = Sbft_sim.Json in
@@ -150,6 +180,17 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "byzantine" ] ~doc:"Byzantine strategy for f servers.")
   in
   let corrupt = Arg.(value & flag & info [ "corrupt" ] ~doc:"Corrupt all state and channels at t=0.") in
+  let plan =
+    Arg.(
+      value
+      & opt plan_conv []
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault timeline: comma-separated at:kind[:args] events, e.g. \
+             '120:byz:4:equivocate,300:heal:4,400:corrupt-channels:0.2'. Kinds: corrupt-server, \
+             corrupt-client, corrupt-channels, corrupt-all, byz, heal, crash, slow-node, \
+             slow-channel, partition, heal-partition.")
+  in
   let trace_cap =
     Arg.(
       value
@@ -164,12 +205,21 @@ let run_cmd =
       & info [ "snapshot-every" ] ~docv:"TICKS"
           ~doc:"Period of per-server state snapshots for convergence telemetry; 0 disables.")
   in
+  let note =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "note" ] ~docv:"TEXT"
+          ~doc:
+            "Free-form provenance recorded in the trace header (e.g. which lemma a regression \
+             corpus entry exercises).")
+  in
   let trace_out =
     Arg.(
       value
       & opt (some string) None
       & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:"Stream the typed event trace to FILE as JSONL (header line first).")
+          ~doc:"Write the typed event trace to FILE as JSONL (header line first).")
   in
   let metrics_out =
     Arg.(
@@ -183,8 +233,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload and audit it against MWMR regularity")
     Term.(
-      const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt $ trace_cap $ snapshot_every
-      $ trace_out $ metrics_out)
+      const go $ n $ f $ clients $ seed $ ops $ wr $ strat $ corrupt $ delay_arg $ plan
+      $ trace_cap $ snapshot_every $ note $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* replay *)
@@ -211,13 +261,18 @@ let replay_cmd =
              may be a code change, not nondeterminism\n"
             (String.sub fp 0 12)
             (String.sub h.fingerprint 0 12);
-        match Scenario.execute (Scenario.of_header h) with
+        match Result.bind (Scenario.of_header h) (fun s -> Scenario.execute s) with
         | Error msg ->
             Printf.eprintf "%s\n" msg;
             exit 1
         | Ok r ->
             let v = Replay.compare_streams ~expected ~got:r.events in
             Format.printf "%a@." Replay.pp_verdict v;
+            if h.verdict <> "" then begin
+              let got = Scenario.verdict_to_string (Scenario.verdict_of_run r) in
+              Printf.printf "verdict: recorded %s, replayed %s\n" h.verdict got;
+              if got <> h.verdict then exit 2
+            end;
             if v.divergence <> None then exit 2)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace artifact.") in
@@ -629,6 +684,227 @@ let kv_cmd =
     (Cmd.info "kv" ~doc:"Run a session against the sharded key-value store and audit it")
     Term.(const go $ shards $ n $ f $ seed $ keys $ ops $ doom)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let budget_conv =
+  let parse s =
+    let scale, num =
+      if Filename.check_suffix s "ms" then (0.001, Filename.chop_suffix s "ms")
+      else if Filename.check_suffix s "s" then (1.0, Filename.chop_suffix s "s")
+      else (1.0, s)
+    in
+    match float_of_string_opt num with
+    | Some v when v > 0. -> Ok (v *. scale)
+    | _ -> Error (`Msg "expected a duration like 30s or 500ms")
+  in
+  Arg.conv (parse, fun fmt b -> Format.fprintf fmt "%gs" b)
+
+let save_finding ~dir ~name ~note (s : Scenario.t) =
+  match Scenario.execute s with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" name e;
+      None
+  | Ok r ->
+      let verdict = Scenario.verdict_to_string (Scenario.verdict_of_run r) in
+      let header = Scenario.to_header ~fingerprint:(fingerprint ()) ~verdict ~note s in
+      let path = Filename.concat dir name in
+      Trace_file.save ~path ~header r.events;
+      Some (path, verdict)
+
+let fuzz_cmd =
+  let go n f clients ops wr delay seed iters budget max_findings quiet save =
+    let base =
+      { Scenario.default with n; f; clients; ops_per_client = ops; write_ratio = wr; delay }
+    in
+    let log = if quiet then fun _ -> () else fun line -> Printf.printf "  %s\n%!" line in
+    let report = Fuzz.run ~base ~iterations:iters ?budget_s:budget ~max_findings ~log ~seed () in
+    Format.printf "%a@." Fuzz.pp_report report;
+    Option.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i (fd : Fuzz.finding) ->
+            let name = Printf.sprintf "finding-%03d.trace" i in
+            let note = Printf.sprintf "fuzz campaign seed=%Ld step=%d" seed fd.step in
+            match save_finding ~dir ~name ~note fd.scenario with
+            | Some (path, verdict) -> Printf.printf "wrote %s (%s)\n" path verdict
+            | None -> ())
+          report.findings)
+      save;
+    List.iter
+      (fun (fd : Fuzz.finding) ->
+        Printf.printf "repro [%s]: %s\n"
+          (Scenario.verdict_to_string fd.verdict)
+          (repro_invocation fd.scenario))
+      report.findings;
+    if report.findings <> [] then exit 2
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers (try 5 to watch n > 5f fail).") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
+  let clients = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client endpoints in the base scenario.") in
+  let ops = Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Operations per client in the base scenario.") in
+  let wr = Arg.(value & opt float 0.3 & info [ "write-ratio" ] ~doc:"Base write probability.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Campaign PRNG seed (the campaign is deterministic given this).") in
+  let iters = Arg.(value & opt int 200 & info [ "iters" ] ~doc:"Mutation steps.") in
+  let budget =
+    Arg.(
+      value
+      & opt (some budget_conv) None
+      & info [ "budget" ] ~docv:"DURATION"
+          ~doc:
+            "Stop after this much CPU time (e.g. 30s, 500ms). Only ever truncates the \
+             deterministic step sequence early; per-step behaviour never depends on the clock.")
+  in
+  let max_findings =
+    Arg.(value & opt int 10 & info [ "max-findings" ] ~doc:"Stop after this many findings.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-step progress lines.") in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Save each finding as a replayable trace artifact (verdict in the header) in DIR.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided schedule fuzzing: mutate whole scenarios (seed, delay policy, workload \
+          mix, Byzantine strategy, fault timeline), keep mutants that reach new trace coverage, \
+          and report every run whose verdict is not ok (exit 2 when any finding surfaces)")
+    Term.(
+      const go $ n $ f $ clients $ ops $ wr $ delay_arg $ seed $ iters $ budget $ max_findings
+      $ quiet $ save)
+
+(* ------------------------------------------------------------------ *)
+(* shrink *)
+
+let shrink_cmd =
+  let go path out max_execs verbose =
+    match Trace_file.load path with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok { header = None; _ } ->
+        Printf.eprintf "%s: no run header — nothing to shrink\n" path;
+        exit 1
+    | Ok { header = Some h; _ } -> (
+        match Scenario.of_header h with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok scenario -> (
+            match Scenario.execute scenario with
+            | Error msg ->
+                Printf.eprintf "%s\n" msg;
+                exit 1
+            | Ok r -> (
+                match Scenario.verdict_of_run r with
+                | Scenario.Pass ->
+                    Printf.eprintf "%s: verdict is ok — nothing to shrink\n" path;
+                    exit 1
+                | target ->
+                    Printf.printf "target verdict: %s\n" (Scenario.verdict_to_string target);
+                    let log =
+                      if verbose then fun line -> Printf.printf "  %s\n%!" line else fun _ -> ()
+                    in
+                    let res = Shrink.shrink ~max_executions:max_execs ~log ~target scenario in
+                    Format.printf "%a@." Shrink.pp_result res;
+                    let out =
+                      match out with
+                      | Some o -> o
+                      | None -> Filename.remove_extension path ^ ".min.trace"
+                    in
+                    let note =
+                      if h.note <> "" then h.note
+                      else Printf.sprintf "shrunk from %s" (Filename.basename path)
+                    in
+                    (match save_finding ~dir:(Filename.dirname out)
+                             ~name:(Filename.basename out) ~note res.scenario with
+                    | Some (p, verdict) -> Printf.printf "wrote %s (%s)\n" p verdict
+                    | None -> exit 1);
+                    Printf.printf "repro: %s\n" (repro_invocation res.scenario))))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Failing trace artifact.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the minimized artifact (default: TRACE with a .min.trace suffix).")
+  in
+  let max_execs =
+    Arg.(value & opt int 400 & info [ "max-execs" ] ~doc:"Candidate-execution budget.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each accepted shrink step.") in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Greedily minimize the failing scenario recorded in a trace artifact — fewer fault-plan \
+          events, fewer operations, fewer clients — re-executing each candidate and keeping only \
+          changes that preserve the verdict; writes the minimal reproducer as a fresh artifact \
+          and prints the one-line run invocation")
+    Term.(const go $ path $ out $ max_execs $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* corpus *)
+
+let corpus_cmd =
+  let go dir =
+    match Corpus.load_dir dir with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok [] ->
+        Printf.eprintf "%s: empty corpus\n" dir;
+        exit 1
+    | Ok entries ->
+        let failures = ref 0 in
+        List.iter
+          (fun (e : Corpus.entry) ->
+            let name = Filename.basename e.path in
+            let fail msg =
+              incr failures;
+              Printf.printf "FAIL %-32s %s\n" name msg
+            in
+            if e.header.verdict = "" then fail "header records no verdict"
+            else
+              match Scenario.of_header e.header with
+              | Error msg -> fail msg
+              | Ok s -> (
+                  match Scenario.execute s with
+                  | Error msg -> fail msg
+                  | Ok r ->
+                      let got = Scenario.verdict_to_string (Scenario.verdict_of_run r) in
+                      if got <> e.header.verdict then
+                        fail (Printf.sprintf "verdict %s, header says %s" got e.header.verdict)
+                      else begin
+                        (* recorded events, when present, must replay
+                           bit-for-bit — same determinism contract as
+                           `sbftreg replay` *)
+                        let divergence =
+                          if e.events = [] then None
+                          else (Replay.compare_streams ~expected:e.events ~got:r.events).divergence
+                        in
+                        match divergence with
+                        | Some d -> fail (Printf.sprintf "event stream diverges at %d" d.index)
+                        | None ->
+                            Printf.printf "ok   %-32s %-16s %s\n" name e.header.verdict
+                              e.header.note
+                      end))
+          entries;
+        Printf.printf "%d entries, %d failures\n" (List.length entries) !failures;
+        if !failures > 0 then exit 2
+  in
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Corpus directory.") in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Replay every regression-corpus entry in a directory and assert that each reproduces \
+          the checker verdict recorded in its header (exit 2 on any mismatch)")
+    Term.(const go $ dir)
+
 let () =
   let doc = "stabilizing Byzantine-fault-tolerant MWMR regular register (IPPS 2015 reproduction)" in
   exit
@@ -644,6 +920,9 @@ let () =
             labels_cmd;
             trace_cmd;
             explore_cmd;
+            fuzz_cmd;
+            shrink_cmd;
+            corpus_cmd;
             storm_cmd;
             kv_cmd;
           ]))

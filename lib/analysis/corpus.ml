@@ -1,0 +1,24 @@
+type entry = { path : string; header : Run_header.t; events : (int * Sbft_sim.Event.t) list }
+
+let trace_file name =
+  Filename.check_suffix name ".trace" || Filename.check_suffix name ".jsonl"
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | names ->
+      let names = List.filter trace_file (Array.to_list names) in
+      let names = List.sort String.compare names in
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ as e -> e
+          | Ok entries -> (
+              let path = Filename.concat dir name in
+              match Trace_file.load path with
+              | Error e -> Error (Printf.sprintf "%s: %s" path e)
+              | Ok { header = None; _ } ->
+                  Error (Printf.sprintf "%s: corpus entry has no run header" path)
+              | Ok { header = Some header; events } -> Ok ({ path; header; events } :: entries)))
+        (Ok []) names
+      |> Result.map List.rev

@@ -1,0 +1,22 @@
+(** The replayable regression corpus: a directory of trace artifacts,
+    each a minimal scenario found by the schedule fuzzer (and shrunk),
+    whose header records the checker verdict the run produced.
+
+    Loading is pure enumeration — executing the scenarios needs the
+    harness, so re-running a corpus lives in [Sbft_harness] / the CLI's
+    [corpus] subcommand; this module only finds and parses the entries.
+    Every [*.trace] / [*.jsonl] file in the directory must carry a run
+    header (an entry that cannot name its own scenario is useless as a
+    regression test), and entries come back sorted by filename so
+    corpus runs are deterministic. *)
+
+type entry = {
+  path : string;
+  header : Run_header.t;
+  events : (int * Sbft_sim.Event.t) list;  (** recorded stream, possibly empty *)
+}
+
+val load_dir : string -> (entry list, string) result
+(** All corpus entries in one directory (not recursive), sorted by
+    filename.  Fails on the first unreadable, unparseable or
+    header-less file. *)

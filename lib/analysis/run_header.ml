@@ -10,16 +10,23 @@ type t = {
   write_ratio : float;
   strategy : string option;
   corrupt : bool;
+  delay_policy : string;
+  plan : string list;
+  verdict : string;
+  note : string;
   trace_cap : int;
   snapshot_every : int;
   fingerprint : string;
 }
 
-let schema_version = 1
+let schema_version = 2
 
-let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false) ?(trace_cap = 4096)
-    ?(snapshot_every = 0) ?(fingerprint = "") ~seed ~n ~f ~clients ~ops_per_client ~write_ratio
-    () =
+let default_delay_policy = "uniform-10"
+
+let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false)
+    ?(delay_policy = default_delay_policy) ?(plan = []) ?(verdict = "") ?(note = "")
+    ?(trace_cap = 4096) ?(snapshot_every = 0) ?(fingerprint = "") ~seed ~n ~f ~clients
+    ~ops_per_client ~write_ratio () =
   {
     schema;
     seed;
@@ -30,6 +37,10 @@ let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false) ?(trac
     write_ratio;
     strategy;
     corrupt;
+    delay_policy;
+    plan;
+    verdict;
+    note;
     trace_cap;
     snapshot_every;
     fingerprint;
@@ -51,6 +62,10 @@ let to_json h =
             ("write_ratio", J.Float h.write_ratio);
             ("strategy", match h.strategy with Some s -> J.String s | None -> J.Null);
             ("corrupt", J.Bool h.corrupt);
+            ("delay_policy", J.String h.delay_policy);
+            ("plan", J.List (List.map (fun e -> J.String e) h.plan));
+            ("verdict", J.String h.verdict);
+            ("note", J.String h.note);
             ("trace_cap", J.Int h.trace_cap);
             ("snapshot_every", J.Int h.snapshot_every);
             ("fingerprint", J.String h.fingerprint);
@@ -70,6 +85,10 @@ let of_json j =
     match J.member key h with
     | Some (J.Int i) -> Ok i
     | _ -> Error (Printf.sprintf "header: missing int field %S" key)
+  in
+  (* v2 fields default when absent so schema-1 artifacts still load *)
+  let str_default key d =
+    match J.member key h with Some (J.String s) -> s | _ -> d
   in
   let* schema = int "schema" in
   let* seed =
@@ -101,6 +120,23 @@ let of_json j =
     | Some (J.Bool b) -> Ok b
     | _ -> Error "header: missing corrupt"
   in
+  let delay_policy = str_default "delay_policy" default_delay_policy in
+  let* plan =
+    match J.member "plan" h with
+    | None -> Ok []
+    | Some (J.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | J.String s -> Ok (s :: acc)
+            | _ -> Error "header: plan must be a list of strings")
+          (Ok []) items
+        |> Result.map List.rev
+    | Some _ -> Error "header: plan must be a list of strings"
+  in
+  let verdict = str_default "verdict" "" in
+  let note = str_default "note" "" in
   let* trace_cap = int "trace_cap" in
   let* snapshot_every = int "snapshot_every" in
   let* fingerprint =
@@ -119,13 +155,21 @@ let of_json j =
       write_ratio;
       strategy;
       corrupt;
+      delay_policy;
+      plan;
+      verdict;
+      note;
       trace_cap;
       snapshot_every;
       fingerprint;
     }
 
 let pp fmt h =
-  Format.fprintf fmt "schema=%d seed=%Ld n=%d f=%d clients=%d ops=%d wr=%.2f strategy=%s%s"
+  Format.fprintf fmt "schema=%d seed=%Ld n=%d f=%d clients=%d ops=%d wr=%.2f strategy=%s delay=%s%s"
     h.schema h.seed h.n h.f h.clients h.ops_per_client h.write_ratio
     (Option.value ~default:"-" h.strategy)
-    (if h.corrupt then " corrupt" else "")
+    h.delay_policy
+    (if h.corrupt then " corrupt" else "");
+  if h.plan <> [] then Format.fprintf fmt " plan=%s" (String.concat "," h.plan);
+  if h.verdict <> "" then Format.fprintf fmt " verdict=%s" h.verdict;
+  if h.note <> "" then Format.fprintf fmt " (%s)" h.note

@@ -13,14 +13,21 @@
     from a correct server hit by a transient fault — its state is
     arbitrary but its behaviour is honest again — so the register must
     reabsorb it by the next completed write, without any server ever
-    restarting.  Experiment E19 runs exactly such fault storms. *)
+    restarting.  Experiment E19 runs exactly such fault storms.
+
+    Plans are pure data (Byzantine takeovers name their strategy; the
+    handler is resolved from {!Strategies.all} at apply time), so a
+    timeline serializes into a run header and a fuzzer can mutate it
+    structurally.  See {!to_string} for the compact one-line form the
+    CLI's [--plan] flag accepts. *)
 
 type event =
   | Corrupt_server of int * [ `Light | `Heavy ]
   | Corrupt_client of int
   | Corrupt_channels of float  (** density of forged in-flight messages *)
   | Corrupt_everything of [ `Light | `Heavy ]
-  | Byzantine of int * Strategy.t  (** take over one server *)
+  | Byzantine of int * string
+      (** take over one server with the named {!Strategies.all} entry *)
   | Heal of int  (** reconnect the server's correct automaton, stale state and all *)
   | Crash of int  (** permanent endpoint crash (clients, typically) *)
   | Slow_node of int * int  (** node, factor *)
@@ -34,7 +41,10 @@ type t = (int * event) list
 val apply : ?monitor:Sbft_core.Invariants.t -> Sbft_core.System.t -> t -> unit
 (** Schedule every event.  When [monitor] is given, corruption events
     also call {!Sbft_core.Invariants.notify_corruption} so the
-    stabilization clock restarts correctly. *)
+    stabilization clock restarts correctly.  Raises [Invalid_argument]
+    when a {!Byzantine} event names an unknown strategy — deserialized
+    plans are validated at parse time, so this only fires on
+    hand-constructed plans. *)
 
 val storm : seed:int64 -> n:int -> f:int -> clients:int -> waves:int -> every:int -> t
 (** A random fault storm: [waves] bursts, [every] ticks apart; each
@@ -44,3 +54,70 @@ val storm : seed:int64 -> n:int -> f:int -> clients:int -> waves:int -> every:in
     simultaneously-Byzantine servers. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Serialization}
+
+    One event is ["at:kind[:args]"] (e.g. ["120:byz:4:equivocate"],
+    ["300:corrupt-server:2:heavy"], ["50:partition:0.1.2|3.4.5"]); a
+    plan is a comma-separated list of those.  The same strings carry
+    the plan inside a {!Sbft_analysis.Run_header.t}, so every recorded
+    trace replays its fault timeline exactly. *)
+
+val event_to_string : int * event -> string
+
+val event_of_string : string -> (int * event, string) result
+
+val to_strings : t -> string list
+
+val of_strings : string list -> (t, string) result
+
+val to_string : t -> string
+(** Comma-separated {!event_to_string}s — the CLI [--plan] syntax. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [""] is the empty plan.  Validates
+    strategy names against {!Strategies.all}. *)
+
+val to_json : t -> Sbft_sim.Json.t
+
+val of_json : Sbft_sim.Json.t -> (t, string) result
+
+(** {1 Timeline queries and mutation} *)
+
+val last_at : t -> int
+(** Time of the latest event (0 for the empty plan) — the point after
+    which the stabilization audit may begin. *)
+
+val byz_budget_ok : f:int -> t -> bool
+(** Replaying the timeline, are at most [f] servers Byzantine at any
+    moment?  (Byzantine adds its target to the compromised set, Heal
+    removes it.) *)
+
+val has_byzantine : t -> bool
+
+val partitions_healed : t -> bool
+(** Is the latest {!Partition} followed (or accompanied) by a
+    {!Heal_partition}?  A permanently-partitioned system has in effect
+    crashed more than [f] servers, which the model does not cover, so
+    {!mutate} refuses timelines where this fails. *)
+
+val restrict : n:int -> clients:int -> t -> t
+(** Drop events that reference endpoints outside an [n]-server,
+    [clients]-client system (a mutation that shrinks the client count
+    can orphan an earlier event's target).  {!Scenario.execute} rejects
+    plans this would change, so the fuzzer applies it after every
+    mutation. *)
+
+val random_event : Sbft_sim.Rng.t -> n:int -> clients:int -> horizon:int -> int * event
+(** One random timeline event at a random time in [\[0, horizon)].
+    Never generates {!Crash} (a crashed client's unfinished operations
+    would read as termination failures) nor un-healed partitions. *)
+
+val mutate : Sbft_sim.Rng.t -> n:int -> f:int -> clients:int -> t -> t
+(** One structural mutation: add a random event (or a
+    partition-and-heal window), drop one, shift one in time, or retype
+    one in place.  Returns the input unchanged when the mutation would
+    exceed the [f] Byzantine budget, so fuzzed schedules always stay
+    inside the model. *)

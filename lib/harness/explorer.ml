@@ -7,29 +7,31 @@ type fault_mode = Clean | Corrupt_t0 | Storm
 
 type scenario = { seed : int64; policy : string; strategy : string; fault : fault_mode }
 
-type failure = { scenario : scenario; kind : [ `Violation of string | `Livelock | `Incomplete ] }
+type failure = {
+  scenario : scenario;
+  kind : [ `Violation of string | `Livelock | `Starved | `Incomplete ];
+}
 
 type summary = { runs : int; failures : failure list; total_reads : int; total_aborts : int }
 
-let policies =
-  [
-    ("uniform-2", Delay.uniform ~max:2);
-    ("uniform-10", Delay.uniform ~max:10);
-    ("uniform-50", Delay.uniform ~max:50);
-    ("bimodal", Delay.bimodal ~fast:3 ~slow:60 ~slow_prob:0.1);
-    ("skew-2-slow", Delay.skew ~fast_max:5 ~slow_max:80 ~slow_nodes:[ 0; 1 ]);
-  ]
+let policies = Scenario.policies
 
 let strategies = ("none", None) :: List.map (fun (n, s) -> (n, Some s)) Sbft_byz.Strategies.all
 
-let incomplete_ops h =
-  List.length
-    (List.filter
-       (function
-         | History.Write { resp = None; _ } -> true
-         | History.Read { outcome = History.Incomplete; _ } -> true
-         | _ -> false)
-       (History.ops h))
+let incomplete_ops = Scenario.incomplete_ops
+
+let classify ~livelocked ~completed_reads ~aborted_reads ~incomplete ~violations scenario =
+  let failures = ref [] in
+  List.iter (fun d -> failures := { scenario; kind = `Violation d } :: !failures) violations;
+  if livelocked then failures := { scenario; kind = `Livelock } :: !failures
+  else if completed_reads = 0 && aborted_reads > 0 then
+    (* Every read aborted but the run terminated: the protocol stayed
+       live in the engine sense yet starved its readers.  Distinct from
+       `Incomplete (operations that never got any response) so fuzz
+       triage does not lump starvation with crashes. *)
+    failures := { scenario; kind = `Starved } :: !failures
+  else if incomplete > 0 then failures := { scenario; kind = `Incomplete } :: !failures;
+  List.rev !failures
 
 let run_one ~n ~f ~clients ~ops_per_client scenario strategy policy =
   let cfg = Config.make ~allow_unsafe:true ~n ~f ~clients () in
@@ -44,7 +46,7 @@ let run_one ~n ~f ~clients ~ops_per_client scenario strategy policy =
       let plan =
         Sbft_byz.Fault_plan.storm ~seed:scenario.seed ~n ~f ~clients ~waves:3 ~every:120
       in
-      last_fault := List.fold_left (fun acc (at, _) -> max acc at) 0 plan;
+      last_fault := Sbft_byz.Fault_plan.last_at plan;
       Sbft_byz.Fault_plan.apply sys plan);
   let reg = Register.core sys in
   let o = Workload.run ~spec:{ Workload.default with ops_per_client } reg in
@@ -59,11 +61,12 @@ let run_one ~n ~f ~clients ~ops_per_client scenario strategy policy =
       max_int (History.ops h)
   in
   let check = reg.check_regular ~after () in
-  let failures = ref [] in
-  if o.livelocked then failures := { scenario; kind = `Livelock } :: !failures;
-  if incomplete_ops h > 0 then failures := { scenario; kind = `Incomplete } :: !failures;
-  List.iter (fun d -> failures := { scenario; kind = `Violation d } :: !failures) check.detail;
-  (!failures, check.checked, reg.aborted_reads ())
+  let failures =
+    classify ~livelocked:o.livelocked ~completed_reads:(reg.completed_reads ())
+      ~aborted_reads:(reg.aborted_reads ()) ~incomplete:(incomplete_ops ~since:!last_fault h)
+      ~violations:check.detail scenario
+  in
+  (failures, check.checked, reg.aborted_reads ())
 
 let explore ?(n = 6) ?(f = 1) ?(clients = 4) ?(ops_per_client = 12) ?(seeds = 5)
     ?(fault_modes = [ Clean; Corrupt_t0; Storm ]) () =
@@ -107,6 +110,7 @@ let pp_summary fmt s =
         match f.kind with
         | `Violation d -> "VIOLATION " ^ d
         | `Livelock -> "LIVELOCK"
+        | `Starved -> "STARVED"
         | `Incomplete -> "INCOMPLETE OPS"
       in
       let fault =

@@ -6,7 +6,9 @@
     audits every run, so a protocol bug shows up as a concrete
     reproducible tuple rather than a flaky test.  It is the poor
     man's model checker: no exhaustiveness, but thousands of distinct
-    schedules per second, each checked against the spec.
+    schedules per second, each checked against the spec.  For
+    {e composed} fault timelines beyond the fixed grid, see {!Fuzz},
+    which mutates whole {!Scenario.t}s under coverage guidance.
 
     Used by the `explore` CLI subcommand and the slow test suite; the
     default grid covers every Byzantine strategy × several delay
@@ -29,8 +31,13 @@ type scenario = {
 
 type failure = {
   scenario : scenario;
-  kind : [ `Violation of string | `Livelock | `Incomplete ];
+  kind : [ `Violation of string | `Livelock | `Starved | `Incomplete ];
 }
+(** [`Starved]: the run terminated but every read aborted — reader
+    starvation (a liveness failure the paper's Lemma 4/6 machinery is
+    supposed to prevent), kept distinct from [`Incomplete] (operations
+    that never received any response, i.e. crash-like truncation) so
+    triage does not conflate them. *)
 
 type summary = {
   runs : int;
@@ -40,8 +47,19 @@ type summary = {
 }
 
 val policies : (string * Sbft_channel.Delay.t) list
-(** The delay-policy grid: uniform (several spreads), bimodal,
-    skewed-servers. *)
+(** The delay-policy grid — {!Scenario.policies}. *)
+
+val classify :
+  livelocked:bool ->
+  completed_reads:int ->
+  aborted_reads:int ->
+  incomplete:int ->
+  violations:string list ->
+  scenario ->
+  failure list
+(** The failure taxonomy, exposed for tests: violations always report;
+    otherwise livelock, else starvation (zero completed reads with
+    nonzero aborts), else incompleteness. *)
 
 val explore :
   ?n:int ->
@@ -55,7 +73,7 @@ val explore :
 (** Run the full grid: [seeds] seeds (default 5) × {!policies} ×
     (every strategy + none) × [fault_modes] (default all three).
     Every run is audited for MWMR regularity after the last fault's
-    first completed write; any violation, livelock or incomplete
-    operation is a failure. *)
+    first completed write; any violation, livelock, starvation or
+    incomplete operation is a failure. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,151 @@
+module Rng = Sbft_sim.Rng
+module Coverage = Sbft_sim.Coverage
+module Fault_plan = Sbft_byz.Fault_plan
+
+type finding = { scenario : Scenario.t; verdict : Scenario.verdict; step : int }
+
+type report = {
+  executed : int;
+  skipped : int;
+  corpus : Scenario.t list;
+  coverage : int;
+  findings : finding list;
+  stopped_by : [ `Iterations | `Budget | `Findings ];
+}
+
+(* Keep fuzzed runs small: mutation explores schedules, not workload
+   scale, and the shrinker drives sizes down anyway.  A cap on total
+   operations bounds the cost of one execution. *)
+let max_ops_per_client = 40
+let max_clients = 6
+let max_total_ops = 200
+
+let write_ratios = [| 0.1; 0.3; 0.5; 0.7; 0.9 |]
+
+let clamp lo hi v = max lo (min hi v)
+
+let mutate rng (s : Scenario.t) =
+  let s =
+    match Rng.int rng 8 with
+    | 0 -> { s with seed = Rng.int64 rng }
+    | 1 -> { s with delay = fst (Rng.pick_list rng Scenario.policies) }
+    | 2 -> { s with write_ratio = Rng.pick rng write_ratios }
+    | 3 ->
+        let ops = clamp 1 max_ops_per_client (s.ops_per_client + Rng.int_in rng (-10) 10) in
+        { s with ops_per_client = ops }
+    | 4 -> { s with clients = clamp 1 max_clients (s.clients + Rng.int_in rng (-1) 1) }
+    | 5 -> { s with corrupt = not s.corrupt }
+    | 6 ->
+        if Rng.chance rng 0.3 then { s with strategy = None }
+        else { s with strategy = Some (fst (Rng.pick_list rng Sbft_byz.Strategies.all)) }
+    | _ -> { s with plan = Fault_plan.mutate rng ~n:s.n ~f:s.f ~clients:s.clients s.plan }
+  in
+  (* Keep the composed adversary inside the f-budget: a pre-installed
+     strategy already compromises f servers, so a plan that adds its
+     own takeovers on top would exceed the model's bound by
+     construction (the explorer applies the same rule to storms). *)
+  let s =
+    if s.strategy <> None && Fault_plan.has_byzantine s.plan then
+      { s with plan = List.filter (function _, Fault_plan.Byzantine _ -> false | _ -> true) s.plan }
+    else s
+  in
+  (* A clients mutation can orphan an earlier plan event's target. *)
+  let s = { s with plan = Fault_plan.restrict ~n:s.n ~clients:s.clients s.plan } in
+  if s.ops_per_client * s.clients > max_total_ops then
+    { s with ops_per_client = max 1 (max_total_ops / s.clients) }
+  else s
+
+let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings = 10)
+    ?(max_events = 4_000_000) ?(log = fun _ -> ()) ~seed () =
+  let rng = Rng.create seed in
+  let global = Coverage.create () in
+  let corpus = ref [] and corpus_len = ref 0 in
+  let findings = ref [] and n_findings = ref 0 in
+  let executed = ref 0 and skipped = ref 0 in
+  let started = Sys.time () in
+  let over_budget () =
+    match budget_s with Some b -> Sys.time () -. started > b | None -> false
+  in
+  let execute step s =
+    match Scenario.execute ~max_events s with
+    | Error e ->
+        (* mutations only compose known names, so this is unexpected —
+           count it rather than hide it *)
+        incr skipped;
+        log (Printf.sprintf "step %d: skipped (%s)" step e);
+        None
+    | Ok r ->
+        incr executed;
+        Some r
+  in
+  let consider step s =
+    match execute step s with
+    | None -> ()
+    | Some r ->
+        let gained = Coverage.absorb ~into:global (Coverage.of_events r.events) in
+        if gained > 0 then begin
+          corpus := s :: !corpus;
+          incr corpus_len
+        end;
+        (match Scenario.verdict_of_run r with
+        | Scenario.Pass -> ()
+        | verdict ->
+            incr n_findings;
+            findings := { scenario = s; verdict; step } :: !findings;
+            log
+              (Printf.sprintf "step %d: %s (corpus %d, coverage %d)" step
+                 (Scenario.verdict_to_string verdict)
+                 !corpus_len (Coverage.cardinal global)));
+        if gained > 0 && step > 0 then
+          log
+            (Printf.sprintf "step %d: +%d coverage keys (%d total, corpus %d)" step gained
+               (Coverage.cardinal global) !corpus_len)
+  in
+  (* Seed the corpus with the base scenario itself. *)
+  consider 0 base;
+  let stopped = ref `Iterations in
+  (try
+     for step = 1 to iterations do
+       if over_budget () then begin
+         stopped := `Budget;
+         raise Exit
+       end;
+       if !n_findings >= max_findings then begin
+         stopped := `Findings;
+         raise Exit
+       end;
+       (* Pick a parent: mostly from the retained corpus (schedules
+          that reached new protocol states deserve the mutation
+          energy), sometimes the base to re-diversify. *)
+       let parent =
+         if !corpus_len = 0 || Rng.chance rng 0.1 then base else Rng.pick_list rng !corpus
+       in
+       consider step (mutate rng parent)
+     done
+   with Exit -> ());
+  {
+    executed = !executed;
+    skipped = !skipped;
+    corpus = List.rev !corpus;
+    coverage = Coverage.cardinal global;
+    findings = List.rev !findings;
+    stopped_by = !stopped;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>fuzz: %d runs (%d skipped), %d coverage keys, corpus %d, %d findings%s@,"
+    r.executed r.skipped r.coverage (List.length r.corpus) (List.length r.findings)
+    (match r.stopped_by with
+    | `Iterations -> ""
+    | `Budget -> " [budget exhausted]"
+    | `Findings -> " [finding cap reached]");
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  step %d: %s seed=%Ld delay=%s strategy=%s%s plan=[%s]@," f.step
+        (Scenario.verdict_to_string f.verdict)
+        f.scenario.seed f.scenario.delay
+        (Option.value ~default:"none" f.scenario.strategy)
+        (if f.scenario.corrupt then " corrupt" else "")
+        (Fault_plan.to_string f.scenario.plan))
+    r.findings;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,64 @@
+(** Coverage-guided schedule fuzzing.
+
+    The paper's guarantees are universally quantified over schedules
+    and transient faults; {!Explorer} sweeps a fixed grid, but the grid
+    cannot compose novel fault {e timelines} (a takeover here, a
+    partition window there, corruption mid-write).  This module
+    searches that space: it mutates whole {!Scenario.t}s — seed, delay
+    policy, workload mix, Byzantine strategy, fault-plan timeline —
+    executes each candidate, and keeps in its corpus the schedules
+    whose traces touch {!Sbft_sim.Coverage} keys never seen before, so
+    mutation energy concentrates on runs that reach new protocol
+    states rather than replaying the same quiescent exchange.
+
+    Any run whose {!Scenario.verdict_of_run} is not [Pass] is a
+    {e finding}; pipe it through {!Shrink} for a minimal reproducer.
+    The whole campaign is deterministic given [seed] (the wall-clock
+    budget, when supplied, can only truncate it earlier on a slower
+    machine — per-step behaviour never varies).
+
+    Mutations respect the model: never more than [f]
+    simultaneously-Byzantine servers (a pre-installed strategy counts
+    as all [f]), no client crashes (their unfinished operations would
+    read as fake termination failures), no partitions without a
+    matching heal. *)
+
+type finding = {
+  scenario : Scenario.t;
+  verdict : Scenario.verdict;  (** never [Pass] *)
+  step : int;  (** which fuzzing step produced it, for reproduction *)
+}
+
+type report = {
+  executed : int;
+  skipped : int;  (** scenarios that failed to execute (should be 0) *)
+  corpus : Scenario.t list;  (** scenarios retained for new coverage, oldest first *)
+  coverage : int;  (** total distinct coverage keys touched *)
+  findings : finding list;
+  stopped_by : [ `Iterations | `Budget | `Findings ];
+}
+
+val mutate : Sbft_sim.Rng.t -> Scenario.t -> Scenario.t
+(** One mutation step (exposed for tests): perturbs exactly one of
+    seed, delay policy, write ratio, ops per client, client count,
+    initial corruption, Byzantine strategy, or the fault plan; then
+    re-establishes the f-budget and caps total operations. *)
+
+val run :
+  ?base:Scenario.t ->
+  ?iterations:int ->
+  ?budget_s:float ->
+  ?max_findings:int ->
+  ?max_events:int ->
+  ?log:(string -> unit) ->
+  seed:int64 ->
+  unit ->
+  report
+(** Run a campaign: execute [base] (seeding corpus and coverage), then
+    up to [iterations] mutants of corpus parents, stopping early when
+    [budget_s] seconds of CPU time elapse or [max_findings] findings
+    accumulate.  [max_events] bounds each single execution (default 4M,
+    well above any honest run at the capped workload sizes).  [log]
+    receives one line per notable step. *)
+
+val pp_report : Format.formatter -> report -> unit

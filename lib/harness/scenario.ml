@@ -1,10 +1,13 @@
 module Engine = Sbft_sim.Engine
 module Trace = Sbft_sim.Trace
 module Event = Sbft_sim.Event
+module Delay = Sbft_channel.Delay
 module Config = Sbft_core.Config
 module System = Sbft_core.System
+module History = Sbft_spec.History
 module Strategy = Sbft_byz.Strategy
 module Strategies = Sbft_byz.Strategies
+module Fault_plan = Sbft_byz.Fault_plan
 module Regularity = Sbft_spec.Regularity
 module Run_header = Sbft_analysis.Run_header
 
@@ -17,9 +20,20 @@ type t = {
   write_ratio : float;
   strategy : string option;
   corrupt : bool;
+  delay : string;
+  plan : Fault_plan.t;
   trace_cap : int;
   snapshot_every : int;
 }
+
+let policies =
+  [
+    ("uniform-2", Delay.uniform ~max:2);
+    ("uniform-10", Delay.uniform ~max:10);
+    ("uniform-50", Delay.uniform ~max:50);
+    ("bimodal", Delay.bimodal ~fast:3 ~slow:60 ~slow_prob:0.1);
+    ("skew-2-slow", Delay.skew ~fast_max:5 ~slow_max:80 ~slow_nodes:[ 0; 1 ]);
+  ]
 
 let default =
   {
@@ -31,28 +45,37 @@ let default =
     write_ratio = 0.3;
     strategy = None;
     corrupt = false;
+    delay = Run_header.default_delay_policy;
+    plan = [];
     trace_cap = 4096;
     snapshot_every = 50;
   }
 
-let to_header ?(fingerprint = "") t =
-  Run_header.make ~strategy:t.strategy ~corrupt:t.corrupt ~trace_cap:t.trace_cap
+let to_header ?(fingerprint = "") ?(verdict = "") ?(note = "") t =
+  Run_header.make ~strategy:t.strategy ~corrupt:t.corrupt ~delay_policy:t.delay
+    ~plan:(Fault_plan.to_strings t.plan) ~verdict ~note ~trace_cap:t.trace_cap
     ~snapshot_every:t.snapshot_every ~fingerprint ~seed:t.seed ~n:t.n ~f:t.f ~clients:t.clients
     ~ops_per_client:t.ops_per_client ~write_ratio:t.write_ratio ()
 
 let of_header (h : Run_header.t) =
-  {
-    n = h.n;
-    f = h.f;
-    clients = h.clients;
-    seed = h.seed;
-    ops_per_client = h.ops_per_client;
-    write_ratio = h.write_ratio;
-    strategy = h.strategy;
-    corrupt = h.corrupt;
-    trace_cap = h.trace_cap;
-    snapshot_every = h.snapshot_every;
-  }
+  match Fault_plan.of_strings h.plan with
+  | Error _ as e -> e
+  | Ok plan ->
+      Ok
+        {
+          n = h.n;
+          f = h.f;
+          clients = h.clients;
+          seed = h.seed;
+          ops_per_client = h.ops_per_client;
+          write_ratio = h.write_ratio;
+          strategy = h.strategy;
+          corrupt = h.corrupt;
+          delay = h.delay_policy;
+          plan;
+          trace_cap = h.trace_cap;
+          snapshot_every = h.snapshot_every;
+        }
 
 type run = {
   sys : System.t;
@@ -62,6 +85,7 @@ type run = {
   probe : Probe.report;
   telemetry : Telemetry.t;
   after : int;
+  last_fault : int;
   events : (int * Event.t) list;
 }
 
@@ -73,8 +97,18 @@ let violation_kind (v : Regularity.violation) =
   | `Inversion _ -> "inversion"
   | `Order -> "order"
 
-let execute ?sink t =
-  let resolve_strategy =
+let incomplete_ops ?(since = 0) h =
+  List.length
+    (List.filter
+       (function
+         | History.Write { resp = None; inv; _ } -> inv >= since
+         | History.Read { outcome = History.Incomplete; inv; _ } -> inv >= since
+         | _ -> false)
+       (History.ops h))
+
+let execute ?sink ?(max_events = 20_000_000) t =
+  let ( let* ) = Result.bind in
+  let* strategy =
     match t.strategy with
     | None -> Ok None
     | Some name -> (
@@ -85,31 +119,128 @@ let execute ?sink t =
               (Printf.sprintf "unknown strategy %S; known: %s" name
                  (String.concat ", " (List.map fst Strategies.all))))
   in
-  match resolve_strategy with
-  | Error _ as e -> e
-  | Ok strategy ->
-      let cfg = Config.make ~allow_unsafe:true ~n:t.n ~f:t.f ~clients:t.clients () in
-      let sys = System.create ~seed:t.seed ~trace:true ~trace_capacity:t.trace_cap cfg in
-      let engine = System.engine sys in
-      let tr = Engine.trace engine in
-      let events = ref [] in
-      Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
-      Option.iter (Trace.add_sink tr) sink;
-      (match strategy with Some s -> ignore (Strategy.install_all sys s) | None -> ());
-      if t.corrupt then System.corrupt_everything sys ~severity:`Heavy;
-      let telemetry = Telemetry.attach ~snapshot_every:t.snapshot_every sys in
-      let reg = Register.core sys in
-      let spec =
-        { Workload.default with ops_per_client = t.ops_per_client; write_ratio = t.write_ratio }
-      in
-      let outcome = Workload.run ~spec reg in
-      let after = Option.value ~default:max_int (reg.first_write_completion ()) in
-      let history = System.history sys in
-      let report = Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
-      List.iter
-        (fun (v : Regularity.violation) ->
-          Trace.emit tr ~time:(Engine.now engine)
-            (Event.Violation { op_id = v.read_id; kind = violation_kind v; detail = v.detail }))
-        report.violations;
-      let probe = Probe.analyze ~corruption:0 history in
-      Ok { sys; reg; outcome; report; probe; telemetry; after; events = List.rev !events }
+  let* delay =
+    match List.assoc_opt t.delay policies with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (Printf.sprintf "unknown delay policy %S; known: %s" t.delay
+             (String.concat ", " (List.map fst policies)))
+  in
+  let* () =
+    if Fault_plan.restrict ~n:t.n ~clients:t.clients t.plan = t.plan then Ok ()
+    else Error "fault plan references endpoints outside the system"
+  in
+  let cfg = Config.make ~allow_unsafe:true ~n:t.n ~f:t.f ~clients:t.clients () in
+  let sys = System.create ~seed:t.seed ~delay ~trace:true ~trace_capacity:t.trace_cap cfg in
+  let engine = System.engine sys in
+  let tr = Engine.trace engine in
+  let events = ref [] in
+  Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
+  Option.iter (Trace.add_sink tr) sink;
+  (match strategy with Some s -> ignore (Strategy.install_all sys s) | None -> ());
+  if t.corrupt then System.corrupt_everything sys ~severity:`Heavy;
+  Fault_plan.apply sys t.plan;
+  let telemetry = Telemetry.attach ~snapshot_every:t.snapshot_every sys in
+  let reg = Register.core sys in
+  let spec =
+    { Workload.default with ops_per_client = t.ops_per_client; write_ratio = t.write_ratio }
+  in
+  let outcome = Workload.run ~spec ~max_events reg in
+  let history = System.history sys in
+  (* Pseudo-stabilization promises a correct suffix: audit from the
+     first write that both began and completed after the last injected
+     fault (for a plan-free run that is simply the first completed
+     write). *)
+  let last_fault = Fault_plan.last_at t.plan in
+  let after =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | History.Write { inv; resp = Some r; _ } when inv >= last_fault -> min acc r
+        | _ -> acc)
+      max_int (History.ops history)
+  in
+  let report = Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
+  List.iter
+    (fun (v : Regularity.violation) ->
+      Trace.emit tr ~time:(Engine.now engine)
+        (Event.Violation { op_id = v.read_id; kind = violation_kind v; detail = v.detail }))
+    report.violations;
+  let probe = Probe.analyze ~corruption:0 history in
+  Ok
+    {
+      sys;
+      reg;
+      outcome;
+      report;
+      probe;
+      telemetry;
+      after;
+      last_fault;
+      events = List.rev !events;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts.  One word per failure class, ordered by severity: what a
+   fuzzing campaign triages on and what a corpus entry's header
+   records. *)
+
+type verdict = Pass | Violation of string | Livelock | Starved | Incomplete
+
+(* Reads that returned a value / aborted among those invoked at or
+   after [since]. *)
+let read_outcomes_since ~since h =
+  List.fold_left
+    (fun (completed, aborted) op ->
+      match op with
+      | History.Read { inv; outcome = History.Value _; _ } when inv >= since ->
+          (completed + 1, aborted)
+      | History.Read { inv; outcome = History.Abort; _ } when inv >= since ->
+          (completed, aborted + 1)
+      | _ -> (completed, aborted))
+    (0, 0) (History.ops h)
+
+let verdict_of_run (r : run) =
+  let history = System.history r.sys in
+  match r.report.violations with
+  | v :: _ -> Violation (violation_kind v)
+  | [] ->
+      if r.outcome.livelocked then Livelock
+      else
+        (* The paper lets reads abort for as long as the transitory
+           phase lasts, and the phase only ends when a write completes
+           after the last fault (= the audit anchor [after]).  So
+           starvation is a finding only when that anchor exists and
+           reads invoked after it still all abort. *)
+        let starved =
+          r.after < max_int
+          &&
+          let completed, aborted = read_outcomes_since ~since:r.after history in
+          completed = 0 && aborted > 0
+        in
+        if starved then Starved
+          (* Likewise an operation in flight when a fault struck may
+             legally wedge (a corrupted client loses its continuation);
+             stabilization only promises that operations invoked after
+             the last fault terminate. *)
+        else if incomplete_ops ~since:r.last_fault history > 0 then Incomplete
+        else Pass
+
+let verdict_to_string = function
+  | Pass -> "ok"
+  | Violation kind -> "violation:" ^ kind
+  | Livelock -> "livelock"
+  | Starved -> "starved"
+  | Incomplete -> "incomplete"
+
+let verdict_of_string s =
+  match String.split_on_char ':' s with
+  | [ "ok" ] -> Ok Pass
+  | [ "violation"; kind ] -> Ok (Violation kind)
+  | [ "livelock" ] -> Ok Livelock
+  | [ "starved" ] -> Ok Starved
+  | [ "incomplete" ] -> Ok Incomplete
+  | _ -> Error (Printf.sprintf "unknown verdict %S" s)
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_to_string v)

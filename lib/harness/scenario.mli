@@ -3,13 +3,16 @@
 
     Record and replay must share a single code path — any drift between
     "what the CLI does" and "what the replayer does" shows up as false
-    divergence.  So the whole run lives here: build the system, install
-    the Byzantine strategy, corrupt initial state, attach telemetry,
-    drive the workload, audit regularity and emit the
+    divergence.  So the whole run lives here: build the system with the
+    named delay policy, install the Byzantine strategy, corrupt initial
+    state, schedule the fault-plan timeline, attach telemetry, drive
+    the workload, audit regularity (from the first write completing
+    after the last injected fault) and emit the
     {!Sbft_sim.Event.Violation} records into the trace.  The CLI's
     [run] renders {!execute}'s result to stdout and artifact files;
     [replay] executes the scenario decoded from a trace header and
-    compares event streams.  A scenario converts losslessly to and from
+    compares event streams; the fuzzer mutates scenarios and triages
+    their {!verdict}s.  A scenario converts losslessly to and from
     {!Sbft_analysis.Run_header.t}. *)
 
 type t = {
@@ -21,17 +24,29 @@ type t = {
   write_ratio : float;
   strategy : string option;
   corrupt : bool;
+  delay : string;  (** delay-policy name, resolved against {!policies} *)
+  plan : Sbft_byz.Fault_plan.t;  (** fault timeline, applied at t = 0 *)
   trace_cap : int;
   snapshot_every : int;  (** 0 = no telemetry snapshots *)
 }
 
+val policies : (string * Sbft_channel.Delay.t) list
+(** The named delay policies a scenario may reference: uniform
+    (several spreads), bimodal, skewed-servers.  Shared with the
+    explorer's grid and the fuzzer's mutator. *)
+
 val default : t
 (** The CLI's defaults: n=6, f=1, 4 clients, seed 42, 25 ops/client,
-    write ratio 0.3, trace cap 4096, snapshots every 50 ticks. *)
+    write ratio 0.3, uniform-10 delays, empty fault plan, trace cap
+    4096, snapshots every 50 ticks. *)
 
-val to_header : ?fingerprint:string -> t -> Sbft_analysis.Run_header.t
+val to_header : ?fingerprint:string -> ?verdict:string -> ?note:string -> t -> Sbft_analysis.Run_header.t
+(** [verdict]/[note] let fuzz findings record their classification and
+    provenance; both default empty. *)
 
-val of_header : Sbft_analysis.Run_header.t -> t
+val of_header : Sbft_analysis.Run_header.t -> (t, string) result
+(** [Error] when the header's fault plan does not parse (e.g. an event
+    naming a strategy this binary does not know). *)
 
 type run = {
   sys : Sbft_core.System.t;
@@ -40,15 +55,50 @@ type run = {
   report : Sbft_spec.Regularity.report;
   probe : Probe.report;
   telemetry : Telemetry.t;
-  after : int;  (** first write completion — the audit suffix start *)
+  after : int;
+      (** audit suffix start: first write begun and completed after the
+          last fault-plan event (plan-free: the first completed write) *)
+  last_fault : int;  (** {!Sbft_byz.Fault_plan.last_at} of the plan *)
   events : (int * Sbft_sim.Event.t) list;  (** every emitted event, in order *)
 }
 
-val execute : ?sink:Sbft_sim.Trace.sink -> t -> (run, string) result
+val execute : ?sink:Sbft_sim.Trace.sink -> ?max_events:int -> t -> (run, string) result
 (** Run the scenario to quiescence.  [sink] additionally observes every
     event as it is emitted (e.g. [Trace.jsonl_sink] for [--trace-out]);
     [events] always collects the full stream for replay comparison.
-    [Error] only for an unknown strategy name. *)
+    [max_events] bounds the engine (default 20M; the fuzzer lowers it).
+    [Error] only for an unknown strategy or delay-policy name. *)
 
 val violation_kind : Sbft_spec.Regularity.violation -> string
 (** Short tag for the event record: stale/future/unwritten/inversion/order. *)
+
+val incomplete_ops : ?since:int -> 'ts Sbft_spec.History.t -> int
+(** Operations invoked at or after [since] (default 0: all) that never
+    got a response (crashed writer, truncated run, a client wedged by
+    mid-operation corruption). *)
+
+(** {1 Verdicts}
+
+    The one-word classification of a run that fuzz triage, the shrinker
+    and the regression corpus all share.  Ordered by severity:
+    violations trump everything; a livelock (event budget exhausted)
+    trumps starvation (all reads aborted — the protocol stayed live but
+    never served a value, Lemma 4/6 territory); starvation trumps mere
+    incompleteness. *)
+
+type verdict =
+  | Pass
+  | Violation of string  (** kind of the first regularity violation *)
+  | Livelock
+  | Starved  (** zero completed reads, nonzero aborts *)
+  | Incomplete  (** some operation never finished *)
+
+val verdict_of_run : run -> verdict
+
+val verdict_to_string : verdict -> string
+(** ["ok"], ["violation:stale"], ["livelock"], ["starved"],
+    ["incomplete"] — the form stored in run headers. *)
+
+val verdict_of_string : string -> (verdict, string) result
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,70 @@
+type t = { keys : (string, unit) Hashtbl.t; mutable prev : string option }
+
+let create () = { keys = Hashtbl.create 256; prev = None }
+
+(* Bucket a non-negative magnitude into a coarse logarithmic class so
+   the key space stays finite while still separating "empty", "a few"
+   and "many". *)
+let bucket v =
+  if v <= 0 then 0
+  else if v <= 1 then 1
+  else if v <= 3 then 2
+  else if v <= 7 then 3
+  else if v <= 15 then 4
+  else 5
+
+let key_of_event (ev : Event.t) =
+  match ev with
+  | Event.Msg_sent { kind; _ } -> "sent:" ^ kind
+  | Event.Msg_delivered { kind; _ } -> "dlvr:" ^ kind
+  | Event.Msg_dropped { kind; reason; _ } -> "drop:" ^ kind ^ ":" ^ reason
+  | Event.Retransmit _ -> "retransmit"
+  | Event.Ack_roundtrip _ -> "ack_rtt"
+  | Event.Quorum_formed { phase; _ } -> "quorum:" ^ phase
+  | Event.Label_adopted { ack; _ } -> if ack then "adopt:ack" else "adopt:nack"
+  | Event.Epoch_changed { what; _ } -> "epoch:" ^ what
+  | Event.Fault_injected { desc } ->
+      (* keep the fault kind, drop the per-event parameters *)
+      let head = match String.index_opt desc ' ' with
+        | Some i -> String.sub desc 0 i
+        | None -> desc
+      in
+      "fault:" ^ head
+  | Event.Op_started { kind; _ } -> "op:" ^ kind
+  | Event.Op_phase { phase; _ } -> "phase:" ^ phase
+  | Event.Op_finished { kind; outcome; _ } -> "fin:" ^ kind ^ ":" ^ outcome
+  | Event.Violation { kind; _ } -> "violation:" ^ kind
+  | Event.Server_state { sting; hist_len; readers; _ } ->
+      (* label-space occupancy class: where the sting sits in the
+         universe (mod a fixed fan-out) x history depth x reader load *)
+      Printf.sprintf "occ:%d:%d:%d" (sting land 7) (bucket hist_len) (bucket readers)
+  | Event.Note _ -> "note"
+
+let observe t ev =
+  let key = key_of_event ev in
+  Hashtbl.replace t.keys key ();
+  (match t.prev with
+  | Some p -> Hashtbl.replace t.keys (p ^ ">" ^ key) ()
+  | None -> ());
+  t.prev <- Some key
+
+let of_events events =
+  let t = create () in
+  List.iter (fun (_, ev) -> observe t ev) events;
+  t
+
+let cardinal t = Hashtbl.length t.keys
+
+let keys t = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.keys [])
+
+let mem t key = Hashtbl.mem t.keys key
+
+let absorb ~into t =
+  Hashtbl.fold
+    (fun k () fresh ->
+      if Hashtbl.mem into.keys k then fresh
+      else begin
+        Hashtbl.replace into.keys k ();
+        fresh + 1
+      end)
+    t.keys 0

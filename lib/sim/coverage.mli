@@ -1,0 +1,49 @@
+(** Protocol-state coverage extracted from an event trace — the signal
+    that drives the schedule fuzzer's corpus retention.
+
+    A run's coverage is the set of abstract keys its event stream
+    touches:
+
+    - one {e unigram} per event, refined by the discriminating field
+      (operation phase, message kind, finish outcome, drop reason,
+      violation kind), so reaching a new protocol phase or a new abort
+      path mints a new key;
+    - one {e bigram} per consecutive pair of unigrams in stream order —
+      cheap happens-next structure that distinguishes schedules which
+      visit the same states in a different interleaving;
+    - {e occupancy buckets} from [Server_state] snapshots: the sting's
+      residue class in the label universe crossed with bucketed history
+      depth and reader load, so label-space drift after faults counts
+      as new territory.
+
+    The key space is finite by construction (all components are drawn
+    from small enumerations or log-bucketed), so a fuzzing campaign's
+    global coverage saturates instead of growing with trace length.
+    Everything is deterministic in the event stream. *)
+
+type t
+(** Mutable key set, plus the last unigram for bigram formation. *)
+
+val create : unit -> t
+
+val observe : t -> Event.t -> unit
+(** Fold one event into the set (usable directly as a trace sink's
+    body). *)
+
+val of_events : (int * Event.t) list -> t
+(** Coverage of a whole recorded stream. *)
+
+val cardinal : t -> int
+
+val keys : t -> string list
+(** Sorted, for deterministic reporting. *)
+
+val mem : t -> string -> bool
+
+val absorb : into:t -> t -> int
+(** [absorb ~into run] adds every key of [run] to [into] and returns
+    how many were new — the fuzzer's "did this schedule reach anything
+    we have not seen" test. *)
+
+val key_of_event : Event.t -> string
+(** The unigram abstraction (exposed for tests). *)

@@ -39,4 +39,10 @@ let () =
       ("misc", Test_misc.suite);
       ("determinism", Test_determinism.suite);
       ("resilience-f2", Test_f2.suite);
+      ("fault-plan", Test_fault_plan.suite);
+      ("fuzz+shrink", Test_fuzz.suite);
+      ("corpus", Test_corpus.suite);
+      ("label-props", Test_label_props.suite);
+      ("metamorphic", Test_metamorphic.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,132 @@
+(* End-to-end tests of the sbftreg executable: diff threshold exit
+   codes, the replay fingerprint warning and verdict regression check,
+   corpus replay, and the fuzz -> save -> shrink -> replay loop.  The
+   binary is a declared dune dependency living at ../bin relative to
+   the test cwd (_build/default/test). *)
+
+let exe = "../bin/sbftreg.exe"
+
+let sh fmt = Printf.ksprintf Sys.command fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let replace_once s ~sub ~by =
+  let ls = String.length s and lsub = String.length sub in
+  let rec find i =
+    if i + lsub > ls then None
+    else if String.sub s i lsub = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + lsub) (ls - i - lsub)
+
+let temp name ext = Filename.temp_file ("sbftcli_" ^ name) ext
+
+let temp_dir name =
+  let d = Filename.temp_file ("sbftcli_" ^ name) "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let check_exit msg expected code = Alcotest.(check int) msg expected code
+
+(* diff: identical artifacts exit 0; a warn-range drift exits 0 but is
+   printed; a beyond-3x drift exits 2. *)
+let test_diff_exit_codes () =
+  let m = temp "metrics" ".json" in
+  check_exit "run produces metrics" 0
+    (sh "%s run -n 6 --clients 2 --ops 6 --seed 7 --metrics-out %s >/dev/null 2>&1" exe m);
+  check_exit "self diff is clean" 0 (sh "%s diff %s %s >/dev/null 2>&1" exe m m);
+  let a = temp "base" ".json" and b = temp "cand" ".json" in
+  write_file a {|{"counters":{"x":100}}|};
+  write_file b {|{"counters":{"x":140}}|};
+  let out = temp "diffout" ".txt" in
+  check_exit "warn-range drift still exits 0" 0 (sh "%s diff %s %s > %s 2>&1" exe a b out);
+  Alcotest.(check bool) "warn is reported" true
+    (let low = String.lowercase_ascii (read_file out) in
+     replace_once low ~sub:"warn" ~by:"" <> low);
+  write_file b {|{"counters":{"x":500}}|};
+  check_exit "beyond 3x tolerance exits 2" 2 (sh "%s diff %s %s >/dev/null 2>&1" exe a b)
+
+(* replay: a clean round trip is silent; a foreign fingerprint warns
+   but still replays; a flipped verdict is a regression (exit 2). *)
+let test_replay_fingerprint_and_verdict () =
+  let t = temp "trace" ".trace" in
+  check_exit "record a trace" 0
+    (sh "%s run -n 6 --clients 2 --ops 5 --seed 7 --trace-out %s >/dev/null 2>&1" exe t);
+  let err = temp "replayerr" ".txt" in
+  check_exit "clean replay exits 0" 0 (sh "%s replay %s >/dev/null 2>%s" exe t err);
+  Alcotest.(check bool) "clean replay does not warn" true
+    (read_file err = "");
+  (* rewrite the recorded fingerprint to a foreign one *)
+  let real_fp = Digest.to_hex (Digest.file exe) in
+  let forged = temp "forged" ".trace" in
+  write_file forged (replace_once (read_file t) ~sub:real_fp ~by:(String.make 32 'd'));
+  check_exit "foreign fingerprint still replays" 0 (sh "%s replay %s >/dev/null 2>%s" exe forged err);
+  Alcotest.(check bool) "fingerprint mismatch is warned about" true
+    (let e = read_file err in
+     replace_once e ~sub:"fingerprint" ~by:"" <> e);
+  (* flip the recorded verdict: replay must flag the regression *)
+  let flipped = temp "flipped" ".trace" in
+  write_file flipped
+    (replace_once (read_file t) ~sub:{|"verdict":"ok"|} ~by:{|"verdict":"violation:stale"|});
+  check_exit "verdict mismatch exits 2" 2 (sh "%s replay %s >/dev/null 2>&1" exe flipped)
+
+(* corpus: the committed corpus replays clean; an entry whose recorded
+   verdict no longer reproduces fails the whole directory. *)
+let test_corpus_exit_codes () =
+  check_exit "committed corpus replays" 0 (sh "%s corpus corpus >/dev/null 2>&1" exe);
+  let bad = temp_dir "corpus" in
+  let source =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.find_map (fun f ->
+           let s = read_file (Filename.concat "corpus" f) in
+           let flipped = replace_once s ~sub:{|"verdict":"ok"|} ~by:{|"verdict":"violation:stale"|} in
+           if flipped <> s then Some flipped else None)
+  in
+  (match source with
+  | None -> Alcotest.fail "corpus has no passing entry to flip"
+  | Some flipped -> write_file (Filename.concat bad "flipped.trace") flipped);
+  check_exit "flipped verdict exits 2" 2 (sh "%s corpus %s >/dev/null 2>&1" exe bad)
+
+(* fuzz: the safe topology smoke-tests clean; the known-bad n = 5f
+   topology yields a saved finding, which shrinks to a minimal trace
+   that replays bit-for-bit. *)
+let test_fuzz_smoke_and_shrink_loop () =
+  check_exit "fuzz smoke on n=6 finds nothing" 0
+    (sh "%s fuzz -n 6 --clients 3 --ops 8 --iters 5 --seed 5 -q >/dev/null 2>&1" exe);
+  let dir = temp_dir "findings" in
+  check_exit "fuzz on n=5f exits 2 with a finding" 2
+    (sh "%s fuzz -n 5 --clients 3 --ops 12 --iters 400 --max-findings 1 --seed 3 --save %s -q >/dev/null 2>&1"
+       exe dir);
+  let finding =
+    match Array.to_list (Sys.readdir dir) with
+    | f :: _ -> Filename.concat dir f
+    | [] -> Alcotest.fail "fuzz --save left no artifact"
+  in
+  let min_trace = temp "min" ".trace" in
+  check_exit "shrink reproduces and minimizes" 0
+    (sh "%s shrink %s --out %s >/dev/null 2>&1" exe finding min_trace);
+  Alcotest.(check bool) "minimal artifact exists" true (Sys.file_exists min_trace);
+  check_exit "minimal reproducer replays clean" 0 (sh "%s replay %s >/dev/null 2>&1" exe min_trace)
+
+let suite =
+  [
+    Alcotest.test_case "diff exit codes: ok / warn / fail" `Quick test_diff_exit_codes;
+    Alcotest.test_case "replay: fingerprint warning, verdict regression" `Quick
+      test_replay_fingerprint_and_verdict;
+    Alcotest.test_case "corpus directory exit codes" `Quick test_corpus_exit_codes;
+    Alcotest.test_case "fuzz smoke and fuzz->shrink->replay loop" `Slow
+      test_fuzz_smoke_and_shrink_loop;
+  ]

@@ -82,7 +82,7 @@ let test_heal_restores_correct_behaviour () =
   let sys, _ = make () in
   (* Take over server 0, then heal it; afterwards it must answer
      GET_TS again (the silent strategy never does). *)
-  FP.apply sys [ (1, FP.Byzantine (0, Sbft_byz.Strategies.silent)); (100, FP.Heal 0) ];
+  FP.apply sys [ (1, FP.Byzantine (0, "silent")); (100, FP.Heal 0) ];
   let got = ref H.Incomplete in
   Sbft_sim.Engine.schedule (System.engine sys) ~delay:200 (fun () ->
       System.write sys ~client:6 ~value:9

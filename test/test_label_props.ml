@@ -1,0 +1,131 @@
+(* Property tests for the labeling systems, seeded and deterministic:
+   the precedence relations stay antisymmetric on arbitrary (including
+   garbage) labels, domination survives wraparound and label recycling,
+   and the WTsG recency vote never orders two nodes both ways. *)
+
+module Sbls = Sbft_labels.Sbls
+module Cyclic = Sbft_labels.Cyclic
+module Mw_ts = Sbft_labels.Mw_ts
+module Wtsg = Sbft_labels.Wtsg
+module Rng = Sbft_sim.Rng
+
+let sys = Sbls.system ~k:4
+
+(* Generators are explicit (seed -> value) so every counterexample
+   qcheck prints is a replayable integer. *)
+let garbage_label seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  if Rng.bool rng then Sbls.random_garbage sys rng else Sbls.random sys rng
+
+let garbage_ts seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  if Rng.bool rng then Mw_ts.random_garbage sys rng else Mw_ts.random sys rng ~clients:4
+
+let qcheck_sbls_antisymmetric =
+  QCheck.Test.make ~name:"sbls: prec antisymmetric and irreflexive on arbitrary labels"
+    ~count:1000
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (s1, s2) ->
+      let a = garbage_label s1 and b = garbage_label s2 in
+      (not (Sbls.prec a a))
+      && (not (Sbls.prec b b))
+      && not (Sbls.prec a b && Sbls.prec b a))
+
+let qcheck_mw_ts_antisymmetric =
+  QCheck.Test.make ~name:"mw_ts: prec antisymmetric on arbitrary timestamps" ~count:1000
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (s1, s2) ->
+      let a = garbage_ts s1 and b = garbage_ts s2 in
+      (not (Mw_ts.prec a a)) && not (Mw_ts.prec a b && Mw_ts.prec b a))
+
+let qcheck_cyclic_antisymmetric =
+  QCheck.Test.make ~name:"cyclic: half-window prec antisymmetric and irreflexive" ~count:1000
+    QCheck.(triple (int_range 4 64) int int)
+    (fun (m, x, y) ->
+      let csys = Cyclic.system ~m in
+      let a = Cyclic.of_int csys x and b = Cyclic.of_int csys y in
+      (not (Cyclic.prec csys a a)) && not (Cyclic.prec csys a b && Cyclic.prec csys b a))
+
+(* Domination survives wraparound: iterating next far beyond the label
+   universe size (m = k^2 + 1 = 17 here) forces sting recycling, and
+   the fresh label must still dominate every input that produced it. *)
+let qcheck_sbls_wraparound =
+  QCheck.Test.make ~name:"sbls: next dominates across recycling (> m steps)" ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let l = ref (Sbls.random sys rng) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let nxt = Sbls.next sys [ !l ] in
+        if not (Sbls.prec !l nxt) then ok := false;
+        l := nxt
+      done;
+      !ok)
+
+(* ... and from sets of corrupted labels, the case cyclic schemes lose:
+   any <= k arbitrary labels are dominated by next's output. *)
+let qcheck_sbls_dominates_garbage_sets =
+  QCheck.Test.make ~name:"sbls: next dominates any <= k corrupted labels" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, sz) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let inputs = List.init sz (fun _ -> Sbls.random sys rng) in
+      let nxt = Sbls.next sys inputs in
+      List.for_all (fun l -> Sbls.prec l nxt) inputs)
+
+(* The cyclic straw man really is a straw man: labels planted on both
+   half-windows leave no dominating point anywhere on the ring, while
+   the SBLS handles the same adversarial shape above. *)
+let qcheck_cyclic_gets_stuck =
+  QCheck.Test.make ~name:"cyclic: antipodal corrupted labels admit no dominating label" ~count:200
+    QCheck.(pair (int_range 8 64) int)
+    (fun (m, x) ->
+      let csys = Cyclic.system ~m in
+      let a = Cyclic.of_int csys x and b = Cyclic.of_int csys (x + (m / 2)) in
+      (* a and b sit half a ring apart: anything after a is before b *)
+      Cyclic.stuck csys [ a; b ]
+      && not (Cyclic.dominates_all csys (Cyclic.next csys [ a; b ]) [ a; b ]))
+
+let qcheck_wtsg_newer_exclusive =
+  QCheck.Test.make ~name:"wtsg: recency vote never orders two nodes both ways" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let witnesses =
+        List.concat_map
+          (fun server ->
+            List.init (1 + Rng.int rng 3) (fun rank ->
+                {
+                  Wtsg.server;
+                  value = 1 + Rng.int rng 4;
+                  ts = Mw_ts.random sys rng ~clients:3;
+                  rank;
+                }))
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      let g = Wtsg.build witnesses in
+      let nodes = Wtsg.nodes g in
+      List.for_all
+        (fun a -> List.for_all (fun b -> not (Wtsg.newer g a b && Wtsg.newer g b a)) nodes)
+        nodes)
+
+let test_generators_deterministic () =
+  (* the whole suite above is replayable: same seed, same label *)
+  Alcotest.(check bool) "sbls gen" true (garbage_label 123 = garbage_label 123);
+  Alcotest.(check bool) "ts gen" true (garbage_ts 456 = garbage_ts 456);
+  Alcotest.(check bool) "distinct seeds differ somewhere" true
+    (List.init 20 garbage_label <> List.init 20 (fun i -> garbage_label (i + 1000)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_sbls_antisymmetric;
+    QCheck_alcotest.to_alcotest qcheck_mw_ts_antisymmetric;
+    QCheck_alcotest.to_alcotest qcheck_cyclic_antisymmetric;
+    QCheck_alcotest.to_alcotest qcheck_sbls_wraparound;
+    QCheck_alcotest.to_alcotest qcheck_sbls_dominates_garbage_sets;
+    QCheck_alcotest.to_alcotest qcheck_cyclic_gets_stuck;
+    QCheck_alcotest.to_alcotest qcheck_wtsg_newer_exclusive;
+    Alcotest.test_case "generators are seeded and deterministic" `Quick
+      test_generators_deterministic;
+  ]

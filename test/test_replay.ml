@@ -16,9 +16,14 @@ let execute s =
   | Ok r -> r
   | Error e -> Alcotest.failf "execute: %s" e
 
+let of_header h =
+  match Scenario.of_header h with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "of_header: %s" e
+
 let test_record_replay_zero_divergence () =
   let recorded = execute small in
-  let replayed = execute (Scenario.of_header (Scenario.to_header small)) in
+  let replayed = execute (of_header (Scenario.to_header small)) in
   let v = Replay.compare_streams ~expected:recorded.events ~got:replayed.events in
   Alcotest.(check bool) "has events" true (List.length recorded.events > 100);
   Alcotest.(check bool) "zero divergence" true (v.divergence = None);
@@ -57,7 +62,7 @@ let test_header_roundtrip () =
   (match Run_header.of_json (Run_header.to_json h) with
   | Ok h' -> Alcotest.(check bool) "header json round trip" true (h = h')
   | Error e -> Alcotest.failf "of_json: %s" e);
-  let s' = Scenario.of_header h in
+  let s' = of_header h in
   Alcotest.(check bool) "scenario round trip" true
     (s' = { small with strategy = Some "garbage"; corrupt = true })
 
