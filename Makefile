@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench artifacts clean
+.PHONY: all build test check lint bench bench-json artifacts clean
 
 all: build
 
@@ -22,6 +22,12 @@ check: build test lint
 
 bench:
 	dune exec bench/main.exe
+
+# Regenerate the committed perf baseline (engine events/sec, fuzz
+# schedules/sec, checker µs per 10k-op history, E12 micro table); CI
+# gates `sbftreg bench --baseline BENCH_PR5.json` against it.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR5.json
 
 # Sample run artifacts (committed reference inputs for sbftreg
 # replay/analyze/diff; also a smoke test of the whole artifact loop:

@@ -100,7 +100,8 @@ let regularity_check () =
   Test.make ~name:"spec: regularity check (100-op history)"
     (Staged.stage (fun () -> ignore (reg.check_regular ~after:0 ())))
 
-let micro () =
+(* E12 rows as data: (name, ns/run estimate), sorted by name. *)
+let micro_rows () =
   let tests =
     Test.make_grouped ~name:"sbft"
       [
@@ -121,33 +122,57 @@ let micro () =
   let raw = Benchmark.all cfg instances tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_newline ();
-  print_endline "== E12: micro-benchmarks (Bechamel, monotonic clock) ==";
   let rows = ref [] in
   Hashtbl.iter
     (fun name v ->
       let est = match Analyze.OLS.estimates v with Some [ e ] -> e | _ -> nan in
       rows := (name, est) :: !rows)
     results;
+  List.sort compare !rows
+
+let micro () =
+  print_newline ();
+  print_endline "== E12: micro-benchmarks (Bechamel, monotonic clock) ==";
   List.iter
     (fun (name, est) ->
       if Float.is_nan est then Printf.printf "%-42s (no estimate)\n" name
       else if est > 1_000_000.0 then Printf.printf "%-42s %10.2f ms/run\n" name (est /. 1_000_000.0)
       else if est > 1_000.0 then Printf.printf "%-42s %10.2f us/run\n" name (est /. 1_000.0)
       else Printf.printf "%-42s %10.0f ns/run\n" name est)
-    (List.sort compare !rows)
+    (micro_rows ())
 
 let tables () = List.iter Sbft_harness.Table.print (Sbft_harness.Experiments.all ())
+
+(* Machine-readable bench artifact: the throughput rates the CI gate
+   tracks (engine events/sec, fuzz schedules/sec, checker µs per
+   10k-op history + oracle speedup) plus the E12 micro table in ns. *)
+let json path =
+  let module J = Sbft_sim.Json in
+  let r = Sbft_harness.Benchmarks.run () in
+  Format.printf "%a@." Sbft_harness.Benchmarks.pp r;
+  let micro =
+    List.filter_map
+      (fun (name, est) -> if Float.is_nan est then None else Some (name, J.Float est))
+      (micro_rows ())
+  in
+  let combined =
+    match Sbft_harness.Benchmarks.to_json r with
+    | J.Obj fields -> J.Obj (fields @ [ ("micro_ns_per_run", J.Obj micro) ])
+    | other -> other
+  in
+  Sbft_harness.Artifacts.write_file ~path combined;
+  Printf.printf "wrote %s\n" path
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "tables" :: _ -> tables ()
   | _ :: "micro" :: _ -> micro ()
+  | _ :: "--json" :: path :: _ -> json path
   | _ :: id :: _ -> (
       match Sbft_harness.Experiments.by_id id with
       | Some f -> Sbft_harness.Table.print (f ())
       | None ->
-          Printf.eprintf "unknown experiment %S; known: %s, tables, micro\n" id
+          Printf.eprintf "unknown experiment %S; known: %s, tables, micro, --json FILE\n" id
             (String.concat ", " Sbft_harness.Experiments.ids);
           exit 1)
   | _ ->

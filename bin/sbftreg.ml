@@ -753,7 +753,7 @@ let fuzz_cmd =
       & opt (some budget_conv) None
       & info [ "budget" ] ~docv:"DURATION"
           ~doc:
-            "Stop after this much CPU time (e.g. 30s, 500ms). Only ever truncates the \
+            "Stop after this much wall-clock time (e.g. 30s, 500ms). Only ever truncates the \
              deterministic step sequence early; per-step behaviour never depends on the clock.")
   in
   let max_findings =
@@ -905,6 +905,69 @@ let corpus_cmd =
           the checker verdict recorded in its header (exit 2 on any mismatch)")
     Term.(const go $ dir)
 
+(* ------------------------------------------------------------------ *)
+(* bench *)
+
+let bench_cmd =
+  let go quick json_path baseline_path tolerance =
+    let module B = Sbft_harness.Benchmarks in
+    let r = B.run ~quick () in
+    Format.printf "%a@." B.pp r;
+    (match json_path with
+    | Some path ->
+        Sbft_harness.Artifacts.write_file ~path (B.to_json r);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match baseline_path with
+    | None -> ()
+    | Some path -> (
+        let contents = In_channel.with_open_text path In_channel.input_all in
+        match Sbft_sim.Json.of_string contents with
+        | Error e ->
+            Printf.eprintf "cannot parse baseline %s: %s\n" path e;
+            exit 2
+        | Ok baseline -> (
+            match B.compare_to_baseline ~tolerance ~baseline r with
+            | [] ->
+                Printf.printf "baseline %s: within %.0f%% tolerance\n" path (tolerance *. 100.)
+            | regressions ->
+                List.iter
+                  (fun { B.metric; baseline; current; ratio } ->
+                    Printf.eprintf "REGRESSION %s: %.1f -> %.1f (%.0f%% of baseline)\n" metric
+                      baseline current (ratio *. 100.))
+                  regressions;
+                exit 1))
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test budgets (sub-second, 1k-op history).")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write machine-readable results to $(docv).")
+  in
+  let baseline_path =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a committed bench JSON; exit 1 if fuzz schedules/sec or checker \
+             throughput regressed beyond the tolerance.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.3
+      & info [ "tolerance" ] ~docv:"FRAC" ~doc:"Allowed fractional regression (default 0.3).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure hot-path throughput (engine events/sec, fuzz schedules/sec, checker latency) \
+          and optionally gate against a committed baseline")
+    Term.(const go $ quick $ json_path $ baseline_path $ tolerance)
+
 let () =
   let doc = "stabilizing Byzantine-fault-tolerant MWMR regular register (IPPS 2015 reproduction)" in
   exit
@@ -925,4 +988,5 @@ let () =
             corpus_cmd;
             storm_cmd;
             kv_cmd;
+            bench_cmd;
           ]))

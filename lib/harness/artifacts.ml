@@ -2,20 +2,33 @@ module J = Sbft_sim.Json
 module Metrics = Sbft_sim.Metrics
 
 let histogram_json (h : Metrics.hist_snapshot) =
-  let pct p = Stats.hist_percentile ~bounds:h.bounds ~counts:h.counts p in
+  let pct p = Stats.hist_percentile_sat ~bounds:h.bounds ~counts:h.counts p in
+  let p50, sat50 = pct 50.0 and p95, sat95 = pct 95.0 and p99, sat99 = pct 99.0 in
+  (* A saturated percentile landed in the overflow bucket: the value is
+     only a lower bound.  List which ones, so dashboards can annotate
+     instead of silently under-reporting tail latency.  (The diff tool
+     only compares numeric leaves, so the marker never trips it.) *)
+  let saturated =
+    List.filter_map
+      (fun (name, sat) -> if sat then Some (J.String name) else None)
+      [ ("p50", sat50); ("p95", sat95); ("p99", sat99) ]
+  in
   J.Obj
-    [
-      ("count", J.Int h.count);
-      ("sum", J.Float h.sum);
-      ("min", J.Float h.min);
-      ("max", J.Float h.max);
-      ("mean", J.Float (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count));
-      ("p50", J.Float (pct 50.0));
-      ("p95", J.Float (pct 95.0));
-      ("p99", J.Float (pct 99.0));
-      ("bounds", J.List (Array.to_list (Array.map (fun b -> J.Float b) h.bounds)));
-      ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
-    ]
+    ([
+       ("count", J.Int h.count);
+       ("sum", J.Float h.sum);
+       ("min", J.Float h.min);
+       ("max", J.Float h.max);
+       ("mean", J.Float (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count));
+       ("p50", J.Float p50);
+       ("p95", J.Float p95);
+       ("p99", J.Float p99);
+     ]
+    @ (if saturated = [] then [] else [ ("saturated", J.List saturated) ])
+    @ [
+        ("bounds", J.List (Array.to_list (Array.map (fun b -> J.Float b) h.bounds)));
+        ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
+      ])
 
 let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ~metrics ~per_node () =
   let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in

@@ -1,0 +1,183 @@
+module J = Sbft_sim.Json
+module History = Sbft_spec.History
+module Regularity = Sbft_spec.Regularity
+module Regularity_oracle = Sbft_spec.Regularity_oracle
+module Rng = Sbft_sim.Rng
+
+type checker = {
+  hist_ops : int;
+  hist_writes : int;
+  hist_reads : int;
+  sweep_us : float;
+  oracle_us : float;
+  speedup : float;
+}
+
+type t = {
+  engine_events_per_s : float;
+  engine_runs : int;
+  fuzz_schedules_per_s : float;
+  fuzz_executed : int;
+  checker : checker;
+}
+
+(* A valid steady-state audit workload: sequential completed writes,
+   each observed by [reads_per_write] completed reads of its value
+   before the next write begins.  No violations, monotone timestamps —
+   the shape the harness checks after every honest run, which is the
+   hot path worth tracking.  O(n_ops) to build. *)
+let synthetic_history ~seed ~n_ops ~reads_per_write =
+  let rng = Rng.create seed in
+  let h = History.create () in
+  let t = ref 10 in
+  let nw = max 1 (n_ops / (reads_per_write + 1)) in
+  for i = 1 to nw do
+    let inv = !t + 1 + Rng.int rng 3 in
+    let resp = inv + 2 + Rng.int rng 5 in
+    let id = History.begin_write h ~client:0 ~value:i ~time:inv in
+    History.end_write h ~id ~time:resp ~ts:(Some i);
+    t := resp;
+    for r = 1 to reads_per_write do
+      let rinv = !t + Rng.int rng 3 in
+      let rresp = rinv + 1 + Rng.int rng 4 in
+      let rid = History.begin_read h ~client:(1 + (r mod 4)) ~time:rinv in
+      History.end_read h ~id:rid ~time:rresp ~outcome:(History.Value i);
+      t := max !t rresp
+    done
+  done;
+  h
+
+(* Wall-clock repetition: run [f] until [min_s] seconds elapse (at
+   least once), return (iterations, elapsed_s). *)
+let repeat_for ~min_s f =
+  let t0 = Clock.now_ns () in
+  let iters = ref 0 in
+  while Clock.elapsed_s t0 < min_s || !iters = 0 do
+    f ();
+    incr iters
+  done;
+  (!iters, Clock.elapsed_s t0)
+
+let time_once f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  (r, Clock.elapsed_s t0)
+
+let bench_engine ~min_s =
+  (* A fixed mixed scenario, executed end to end; throughput is the
+     emitted-event rate, the engine's unit of progress. *)
+  let s = { Scenario.default with seed = 11L; ops_per_client = 25 } in
+  let events = ref 0 in
+  let one () =
+    match Scenario.execute s with
+    | Ok r -> events := !events + List.length r.events
+    | Error e -> failwith ("bench_engine: " ^ e)
+  in
+  let runs, elapsed = repeat_for ~min_s one in
+  (float_of_int !events /. elapsed, runs)
+
+let bench_fuzz ~iterations =
+  let report, elapsed =
+    time_once (fun () -> Fuzz.run ~base:Scenario.default ~iterations ~seed:7L ())
+  in
+  (float_of_int report.Fuzz.executed /. elapsed, report.Fuzz.executed)
+
+let bench_checker ~n_ops ~min_s =
+  let h = synthetic_history ~seed:21L ~n_ops ~reads_per_write:9 in
+  let writes = List.length (History.writes h) in
+  let reads = History.size h - writes in
+  let prec : int -> int -> bool = ( < ) in
+  let sweep_iters, sweep_s =
+    repeat_for ~min_s (fun () -> ignore (Regularity.check ~ts_prec:prec h))
+  in
+  (* The oracle is quadratic-or-worse: one timed run is all it gets
+     (on 10k ops it costs seconds, not microseconds). *)
+  let oracle_report, oracle_s = time_once (fun () -> Regularity_oracle.check ~ts_prec:prec h) in
+  let sweep_report = Regularity.check ~ts_prec:prec h in
+  if sweep_report <> oracle_report then failwith "bench_checker: sweep and oracle reports diverge";
+  let sweep_us = sweep_s /. float_of_int sweep_iters *. 1e6 in
+  let oracle_us = oracle_s *. 1e6 in
+  {
+    hist_ops = History.size h;
+    hist_writes = writes;
+    hist_reads = reads;
+    sweep_us;
+    oracle_us;
+    speedup = oracle_us /. sweep_us;
+  }
+
+let run ?(quick = false) () =
+  let min_s = if quick then 0.05 else 0.4 in
+  let engine_events_per_s, engine_runs = bench_engine ~min_s in
+  let fuzz_schedules_per_s, fuzz_executed = bench_fuzz ~iterations:(if quick then 30 else 150) in
+  let checker = bench_checker ~n_ops:(if quick then 1_000 else 10_000) ~min_s in
+  { engine_events_per_s; engine_runs; fuzz_schedules_per_s; fuzz_executed; checker }
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.String "sbft-bench/1");
+      ( "engine",
+        J.Obj
+          [
+            ("events_per_s", J.Float r.engine_events_per_s); ("runs_timed", J.Int r.engine_runs);
+          ] );
+      ( "fuzz",
+        J.Obj
+          [
+            ("schedules_per_s", J.Float r.fuzz_schedules_per_s);
+            ("executed", J.Int r.fuzz_executed);
+          ] );
+      ( "checker",
+        J.Obj
+          [
+            ("hist_ops", J.Int r.checker.hist_ops);
+            ("hist_writes", J.Int r.checker.hist_writes);
+            ("hist_reads", J.Int r.checker.hist_reads);
+            ("sweep_us_per_history", J.Float r.checker.sweep_us);
+            ("oracle_us_per_history", J.Float r.checker.oracle_us);
+            ("speedup", J.Float r.checker.speedup);
+          ] );
+    ]
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>engine:  %.0f events/s (%d runs timed)@,\
+     fuzz:    %.1f schedules/s (%d executed)@,\
+     checker: %.1f us/history (%d ops: %d writes, %d reads); oracle %.1f us; speedup %.1fx@]"
+    r.engine_events_per_s r.engine_runs r.fuzz_schedules_per_s r.fuzz_executed r.checker.sweep_us
+    r.checker.hist_ops r.checker.hist_writes r.checker.hist_reads r.checker.oracle_us
+    r.checker.speedup
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: the CI regression gate. *)
+
+type regression = { metric : string; baseline : float; current : float; ratio : float }
+
+let number json path =
+  let rec go json = function
+    | [] -> ( match json with J.Float f -> Some f | J.Int i -> Some (float_of_int i) | _ -> None)
+    | k :: rest -> ( match J.member k json with Some v -> go v rest | None -> None)
+  in
+  go json path
+
+let compare_to_baseline ~tolerance ~baseline r =
+  (* Higher is better for every gated metric, so normalize the checker
+     latency to a throughput before comparing. *)
+  let gates =
+    [
+      ("fuzz.schedules_per_s", number baseline [ "fuzz"; "schedules_per_s" ], r.fuzz_schedules_per_s);
+      ( "checker.histories_per_s",
+        Option.map (fun us -> 1e6 /. us) (number baseline [ "checker"; "sweep_us_per_history" ]),
+        1e6 /. r.checker.sweep_us );
+    ]
+  in
+  List.filter_map
+    (fun (metric, base, current) ->
+      match base with
+      | None | Some 0.0 -> None (* metric absent from baseline: nothing to gate *)
+      | Some base ->
+          let ratio = current /. base in
+          if ratio < 1.0 -. tolerance then Some { metric; baseline = base; current; ratio }
+          else None)
+    gates

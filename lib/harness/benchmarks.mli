@@ -1,0 +1,65 @@
+(** Throughput benchmarks and the perf-regression gate.
+
+    Three rates cover the hot paths the fuzz/explore loops are bounded
+    by (ROADMAP: "as fast as the hardware allows"):
+
+    - {b engine events/sec} — end-to-end simulator throughput on a
+      fixed mixed scenario;
+    - {b fuzz schedules/sec} — full campaign iterations per second
+      (execute + coverage + corpus bookkeeping);
+    - {b checker µs per 10k-op history} — one sweep-based
+      {!Sbft_spec.Regularity.check} over a synthetic steady-state
+      audit history, with the retired scan
+      ({!Sbft_spec.Regularity_oracle}) timed once alongside for the
+      speedup ratio.
+
+    Wall-clock timed ({!Clock}), deterministic workloads (fixed seeds);
+    only the timings vary run to run.  [sbftreg bench] and
+    [bench/main.exe --json] both emit {!to_json}, and
+    {!compare_to_baseline} implements the CI gate that fails on a >30%
+    throughput regression against the committed baseline
+    ([BENCH_PR5.json]). *)
+
+type checker = {
+  hist_ops : int;
+  hist_writes : int;
+  hist_reads : int;
+  sweep_us : float;  (** one [Regularity.check], microseconds (mean) *)
+  oracle_us : float;  (** one [Regularity_oracle.check], microseconds (single run) *)
+  speedup : float;  (** [oracle_us /. sweep_us] *)
+}
+
+type t = {
+  engine_events_per_s : float;
+  engine_runs : int;  (** scenario executions the rate was averaged over *)
+  fuzz_schedules_per_s : float;
+  fuzz_executed : int;
+  checker : checker;
+}
+
+val synthetic_history :
+  seed:int64 -> n_ops:int -> reads_per_write:int -> int Sbft_spec.History.t
+(** Valid sequential-writer audit history (no violations, monotone
+    timestamps): the checker's steady-state shape.  Exposed for E21. *)
+
+val run : ?quick:bool -> unit -> t
+(** Measure everything.  [quick] shrinks budgets to smoke-test levels
+    (sub-second total, 1k-op history) for tests and CI sanity runs. *)
+
+val to_json : t -> Sbft_sim.Json.t
+
+val pp : Format.formatter -> t -> unit
+
+type regression = {
+  metric : string;
+  baseline : float;
+  current : float;
+  ratio : float;  (** current / baseline, < 1 - tolerance *)
+}
+
+val compare_to_baseline :
+  tolerance:float -> baseline:Sbft_sim.Json.t -> t -> regression list
+(** Gate on the two rates the ISSUE tracks: fuzz schedules/sec and
+    checker throughput (1e6 / sweep µs).  A metric regresses when
+    [current < (1 - tolerance) * baseline]; metrics missing from the
+    baseline are skipped.  Empty list = gate passes. *)

@@ -1,0 +1,14 @@
+(** Monotonic wall clock for budgets and throughput measurements.
+
+    [Sys.time] measures {e CPU} time: a campaign blocked on trace I/O
+    (or anything else that sleeps) consumes no CPU and would overrun a
+    [Sys.time]-based budget arbitrarily.  Budgets and benchmark rates
+    are about wall time, so they read [CLOCK_MONOTONIC] instead (via
+    bechamel's noalloc stub — no extra dependency). *)
+
+val now_ns : unit -> int64
+(** Current monotonic time in nanoseconds.  Only differences are
+    meaningful. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is the wall time in seconds since [t0 = now_ns ()]. *)

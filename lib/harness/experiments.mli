@@ -80,6 +80,11 @@ val e19_fault_storm : unit -> Table.t
 val e20_partition : unit -> Table.t
 (** Partition episodes: stalls and recovery, never violations. *)
 
+val e21_scale : unit -> Table.t
+(** Checker at scale: the sweep vs the retired list-scan oracle on
+    growing synthetic audit histories and a 10k-op n=31/f=6 run, with
+    bit-for-bit report equality asserted on every row. *)
+
 val all : unit -> Table.t list
 
 val by_id : string -> (unit -> Table.t) option

@@ -59,12 +59,30 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
     ?(max_events = 4_000_000) ?(log = fun _ -> ()) ~seed () =
   let rng = Rng.create seed in
   let global = Coverage.create () in
-  let corpus = ref [] and corpus_len = ref 0 in
+  (* Chronological dynamic array: O(1) retention and O(1) parent pick.
+     The corpus grows with every coverage gain, and the previous list
+     representation paid an O(corpus) [List.nth] on every iteration.
+     Picks draw the same single [Rng.int] the list version did and map
+     its newest-first index onto the array, so campaigns replay
+     identically per seed. *)
+  let corpus = ref (Array.make 16 base) and corpus_len = ref 0 in
+  let retain s =
+    if !corpus_len = Array.length !corpus then begin
+      let nc = Array.make (2 * !corpus_len) s in
+      Array.blit !corpus 0 nc 0 !corpus_len;
+      corpus := nc
+    end;
+    !corpus.(!corpus_len) <- s;
+    incr corpus_len
+  in
+  let pick_parent () = !corpus.(!corpus_len - 1 - Rng.int rng !corpus_len) in
   let findings = ref [] and n_findings = ref 0 in
   let executed = ref 0 and skipped = ref 0 in
-  let started = Sys.time () in
+  (* Budgets are wall time, not CPU time: a campaign blocked on trace
+     I/O must still stop on schedule. *)
+  let started = Clock.now_ns () in
   let over_budget () =
-    match budget_s with Some b -> Sys.time () -. started > b | None -> false
+    match budget_s with Some b -> Clock.elapsed_s started > b | None -> false
   in
   let execute step s =
     match Scenario.execute ~max_events s with
@@ -83,10 +101,7 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
     | None -> ()
     | Some r ->
         let gained = Coverage.absorb ~into:global (Coverage.of_events r.events) in
-        if gained > 0 then begin
-          corpus := s :: !corpus;
-          incr corpus_len
-        end;
+        if gained > 0 then retain s;
         (match Scenario.verdict_of_run r with
         | Scenario.Pass -> ()
         | verdict ->
@@ -118,7 +133,7 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
           that reached new protocol states deserve the mutation
           energy), sometimes the base to re-diversify. *)
        let parent =
-         if !corpus_len = 0 || Rng.chance rng 0.1 then base else Rng.pick_list rng !corpus
+         if !corpus_len = 0 || Rng.chance rng 0.1 then base else pick_parent ()
        in
        consider step (mutate rng parent)
      done
@@ -126,7 +141,7 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
   {
     executed = !executed;
     skipped = !skipped;
-    corpus = List.rev !corpus;
+    corpus = Array.to_list (Array.sub !corpus 0 !corpus_len);
     coverage = Coverage.cardinal global;
     findings = List.rev !findings;
     stopped_by = !stopped;

@@ -56,8 +56,9 @@ val run :
   report
 (** Run a campaign: execute [base] (seeding corpus and coverage), then
     up to [iterations] mutants of corpus parents, stopping early when
-    [budget_s] seconds of CPU time elapse or [max_findings] findings
-    accumulate.  [max_events] bounds each single execution (default 4M,
+    [budget_s] seconds of wall-clock time elapse (monotonic clock — a
+    campaign blocked on trace I/O still stops on schedule) or
+    [max_findings] findings accumulate.  [max_events] bounds each single execution (default 4M,
     well above any honest run at the capped workload sizes).  [log]
     receives one line per notable step. *)
 

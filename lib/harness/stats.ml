@@ -25,23 +25,29 @@ let percentile xs p =
     end
   end
 
-let hist_percentile ~bounds ~counts p =
+let hist_percentile_sat ~bounds ~counts p =
   let total = Array.fold_left ( + ) 0 counts in
-  if total = 0 then 0.0
+  if total = 0 then (0.0, false)
   else begin
     let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int total))) in
     let n = Array.length counts in
     let rec go i seen =
-      if i >= n then if Array.length bounds = 0 then 0.0 else bounds.(Array.length bounds - 1)
+      if i >= n then if Array.length bounds = 0 then (0.0, true) else (bounds.(Array.length bounds - 1), true)
       else
         let seen = seen + counts.(i) in
         if seen >= rank then
-          if i < Array.length bounds then bounds.(i)
-          else bounds.(Array.length bounds - 1) (* overflow bucket: clamp to last bound *)
+          if i < Array.length bounds then (bounds.(i), false)
+          else
+            (* Overflow bucket: the ranked sample exceeded every finite
+               bound.  The last bound is the best number available but
+               it under-reports — the caller must surface the flag. *)
+            (bounds.(Array.length bounds - 1), true)
         else go (i + 1) seen
     in
     go 0 0
   end
+
+let hist_percentile ~bounds ~counts p = fst (hist_percentile_sat ~bounds ~counts p)
 
 let summarize xs =
   let n = Array.length xs in

@@ -24,14 +24,24 @@ val percentile : float array -> float -> float
     answer), [p >= 100] returns the maximum, and the empty array
     yields 0. *)
 
-val hist_percentile : bounds:float array -> counts:int array -> float -> float
+val hist_percentile_sat : bounds:float array -> counts:int array -> float -> float * bool
 (** Nearest-rank percentile over fixed-bucket histogram counts (see
     {!Sbft_sim.Metrics.hist_snapshot}): walks the cumulative counts
     and returns the upper bound of the bucket holding the ranked
-    sample.  Samples landing in the overflow bucket clamp to the last
-    finite bound.  Resolution is therefore one bucket — exact enough
-    for the geometric tick buckets the instrumentation uses.  Empty
-    histograms yield 0. *)
+    sample.  Resolution is therefore one bucket — exact enough for the
+    geometric tick buckets the instrumentation uses.  Empty histograms
+    yield [(0., false)].
+
+    The boolean is the {e saturation} flag: [true] when the ranked
+    sample landed in the overflow bucket, i.e. beyond every finite
+    bound.  The returned value is then the last bound — a lower bound
+    on the true percentile, not an estimate of it — and consumers
+    (e.g. the metrics JSON) must mark it as such instead of silently
+    under-reporting tail latency. *)
+
+val hist_percentile : bounds:float array -> counts:int array -> float -> float
+(** [fst (hist_percentile_sat ...)]: the clamped value alone, for
+    callers that have a separate channel for the saturation flag. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -13,38 +13,83 @@ let bucket v =
   else if v <= 15 then 4
   else 5
 
+(* The key space is finite by construction (that is the point of the
+   bucketing), so every key string is interned in module-level memo
+   tables: the fuzz loop observes millions of events per campaign and
+   used to allocate a fresh string (or two, with the bigram) for each.
+   After warm-up, [key_of_event] and [observe] allocate nothing. *)
+
+let memo1 = Hashtbl.create 128 (* (prefix, component) -> key *)
+
+let intern1 prefix component =
+  let k = (prefix, component) in
+  match Hashtbl.find_opt memo1 k with
+  | Some s -> s
+  | None ->
+      let s = prefix ^ component in
+      Hashtbl.add memo1 k s;
+      s
+
+let memo2 = Hashtbl.create 128 (* (prefix, a, b) -> key *)
+
+let intern2 prefix a b =
+  let k = (prefix, a, b) in
+  match Hashtbl.find_opt memo2 k with
+  | Some s -> s
+  | None ->
+      let s = prefix ^ a ^ ":" ^ b in
+      Hashtbl.add memo2 k s;
+      s
+
+(* label-space occupancy classes: 8 sting residues x 6 x 6 buckets *)
+let occ_keys =
+  lazy
+    (Array.init (8 * 6 * 6) (fun i ->
+         Printf.sprintf "occ:%d:%d:%d" (i / 36) (i mod 36 / 6) (i mod 6)))
+
 let key_of_event (ev : Event.t) =
   match ev with
-  | Event.Msg_sent { kind; _ } -> "sent:" ^ kind
-  | Event.Msg_delivered { kind; _ } -> "dlvr:" ^ kind
-  | Event.Msg_dropped { kind; reason; _ } -> "drop:" ^ kind ^ ":" ^ reason
+  | Event.Msg_sent { kind; _ } -> intern1 "sent:" kind
+  | Event.Msg_delivered { kind; _ } -> intern1 "dlvr:" kind
+  | Event.Msg_dropped { kind; reason; _ } -> intern2 "drop:" kind reason
   | Event.Retransmit _ -> "retransmit"
   | Event.Ack_roundtrip _ -> "ack_rtt"
-  | Event.Quorum_formed { phase; _ } -> "quorum:" ^ phase
+  | Event.Quorum_formed { phase; _ } -> intern1 "quorum:" phase
   | Event.Label_adopted { ack; _ } -> if ack then "adopt:ack" else "adopt:nack"
-  | Event.Epoch_changed { what; _ } -> "epoch:" ^ what
+  | Event.Epoch_changed { what; _ } -> intern1 "epoch:" what
   | Event.Fault_injected { desc } ->
       (* keep the fault kind, drop the per-event parameters *)
       let head = match String.index_opt desc ' ' with
         | Some i -> String.sub desc 0 i
         | None -> desc
       in
-      "fault:" ^ head
-  | Event.Op_started { kind; _ } -> "op:" ^ kind
-  | Event.Op_phase { phase; _ } -> "phase:" ^ phase
-  | Event.Op_finished { kind; outcome; _ } -> "fin:" ^ kind ^ ":" ^ outcome
-  | Event.Violation { kind; _ } -> "violation:" ^ kind
+      intern1 "fault:" head
+  | Event.Op_started { kind; _ } -> intern1 "op:" kind
+  | Event.Op_phase { phase; _ } -> intern1 "phase:" phase
+  | Event.Op_finished { kind; outcome; _ } -> intern2 "fin:" kind outcome
+  | Event.Violation { kind; _ } -> intern1 "violation:" kind
   | Event.Server_state { sting; hist_len; readers; _ } ->
       (* label-space occupancy class: where the sting sits in the
          universe (mod a fixed fan-out) x history depth x reader load *)
-      Printf.sprintf "occ:%d:%d:%d" (sting land 7) (bucket hist_len) (bucket readers)
+      (Lazy.force occ_keys).(((sting land 7) * 36) + (bucket hist_len * 6) + bucket readers)
   | Event.Note _ -> "note"
+
+let bigrams = Hashtbl.create 1024 (* (prev, key) -> "prev>key" *)
+
+let bigram p key =
+  let k = (p, key) in
+  match Hashtbl.find_opt bigrams k with
+  | Some s -> s
+  | None ->
+      let s = p ^ ">" ^ key in
+      Hashtbl.add bigrams k s;
+      s
 
 let observe t ev =
   let key = key_of_event ev in
   Hashtbl.replace t.keys key ();
   (match t.prev with
-  | Some p -> Hashtbl.replace t.keys (p ^ ">" ^ key) ()
+  | Some p -> Hashtbl.replace t.keys (bigram p key) ()
   | None -> ());
   t.prev <- Some key
 

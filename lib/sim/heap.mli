@@ -2,7 +2,12 @@
 
     The event queue of the discrete-event engine.  Ties on [time] are
     broken by the monotonically increasing sequence number [seq], which
-    makes event ordering total and the whole simulation deterministic. *)
+    makes event ordering total and the whole simulation deterministic.
+
+    Keys and payloads are stored in parallel arrays: sift comparisons
+    are unboxed [int] reads, and [pop]/[clear] release the payload
+    slots they vacate, so a delivered message or closure becomes
+    collectable the moment it leaves the queue. *)
 
 type 'a t
 (** Heap holding payloads of type ['a]. *)

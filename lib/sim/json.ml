@@ -24,9 +24,11 @@ let escape b s =
 
 let float_repr f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else if Float.is_nan f then "null"
-  else if f = Float.infinity then "1e999"
-  else if f = Float.neg_infinity then "-1e999"
+  else if not (Float.is_finite f) then
+    (* JSON has no NaN or infinity literals; [1e999] overflows to
+       infinity in our own parser but standard parsers reject it, so
+       all three non-finite values degrade to null uniformly. *)
+    "null"
   else
     (* shortest representation that round-trips *)
     let s = Printf.sprintf "%.15g" f in

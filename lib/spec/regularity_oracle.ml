@@ -1,0 +1,119 @@
+(* The retired list-scan checker, verbatim.  Every allocation and
+   iteration order is preserved so the sweep in regularity.ml can be
+   held to bit-for-bit report equality. *)
+
+open Regularity
+
+let order_violations ~after ~ts_prec writes =
+  let completed = List.filter (fun w -> w.resp <> None && w.inv >= after) writes in
+  let overlaps lo hi w = w.inv <= hi && Option.value ~default:max_int w.resp >= lo in
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      let a_resp = Option.get a.resp in
+      List.iter
+        (fun b ->
+          if
+            a.wid <> b.wid && a_resp < b.inv
+            && not
+                 (List.exists
+                    (fun c -> c.wid <> a.wid && c.wid <> b.wid && overlaps a.inv (Option.get b.resp) c)
+                    completed)
+          then
+            match a.wts, b.wts with
+            | Some ta, Some tb when ts_prec tb ta && not (ts_prec ta tb) ->
+                out :=
+                  {
+                    read_id = -1;
+                    kind = `Order;
+                    detail =
+                      Printf.sprintf
+                        "isolated consecutive writes %d (value %d) then %d (value %d) have reversed \
+                         protocol timestamps"
+                        a.wid a.value b.wid b.value;
+                    ops = [ a.wid; b.wid ];
+                  }
+                  :: !out
+            | _ -> ())
+        completed)
+    completed;
+  List.rev !out
+
+type rrec = { rid : int; rv : int; rinv : int; rresp : int }
+
+let check ?(after = 0) ~ts_prec h =
+  let writes = write_records h in
+  (* Unique values are a workload contract; bail out loudly otherwise. *)
+  let by_value = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      if Hashtbl.mem by_value w.value then
+        invalid_arg (Printf.sprintf "Regularity.check: duplicate written value %d" w.value)
+      else Hashtbl.add by_value w.value w)
+    writes;
+  let checked = ref 0 and skipped = ref 0 in
+  let violations = ref (List.rev (order_violations ~after ~ts_prec writes)) in
+  let flag ?(also = []) read_id kind detail =
+    let ops = if read_id >= 0 then read_id :: also else also in
+    violations := { read_id; kind; detail; ops } :: !violations
+  in
+  let checked_reads = ref [] in
+  List.iter
+    (function
+      | History.Write _ -> ()
+      | History.Read r -> (
+          match r.outcome, r.resp with
+          | (History.Abort | History.Incomplete), _ | _, None -> incr skipped
+          | History.Value _, _ when r.inv < after -> incr skipped
+          | History.Value v, Some r_resp -> (
+              incr checked;
+              match Hashtbl.find_opt by_value v with
+              | None -> flag r.id `Unwritten (Printf.sprintf "read %d returned unwritten value %d" r.id v)
+              | Some w -> (
+                  checked_reads := { rid = r.id; rv = v; rinv = r.inv; rresp = r_resp } :: !checked_reads;
+                  if w.inv > r_resp then
+                    flag ~also:[ w.wid ] r.id `Future
+                      (Printf.sprintf "read %d returned value %d written by a later write" r.id v)
+                  else
+                    match w.resp with
+                    | Some w_resp when w_resp < r.inv ->
+                        (* Not concurrent: w must not be overwritten in
+                           real time before the read began. *)
+                        List.iter
+                          (fun w' ->
+                            match w'.resp with
+                            | Some w'_resp
+                              when w'.wid <> w.wid && w'_resp < r.inv && w_resp < w'.inv ->
+                                flag ~also:[ w.wid; w'.wid ] r.id `Stale
+                                  (Printf.sprintf
+                                     "read %d returned value %d but write of %d started after that \
+                                      value was written and completed before the read began"
+                                     r.id v w'.value)
+                            | _ -> ())
+                          writes
+                    | _ -> (* concurrent or failed write: allowed *) ()))))
+    (History.ops h);
+  (* Consistency across read pairs: a later read must not step back to a
+     value strictly real-time-older than what an earlier read already
+     returned, once the earlier read's write has completed. *)
+  let reads = List.rev !checked_reads in
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          if r1.rid <> r2.rid && r1.rresp < r2.rinv && r1.rv <> r2.rv then
+            match Hashtbl.find_opt by_value r1.rv, Hashtbl.find_opt by_value r2.rv with
+            | Some w1, Some w2 -> (
+                match w1.resp, w2.resp with
+                | Some w1_resp, Some w2_resp ->
+                    if w2_resp < w1.inv && w1_resp < r2.rinv then
+                      flag ~also:[ r1.rid; w1.wid; w2.wid ] r2.rid (`Inversion r1.rid)
+                        (Printf.sprintf
+                           "read %d returned value %d after read %d had returned the strictly newer \
+                            value %d (both writes completed before read %d began)"
+                           r2.rid r2.rv r1.rid r1.rv r2.rid)
+                | _ -> ())
+            | _ -> ())
+        reads)
+    reads;
+  { checked_reads = !checked; skipped_reads = !skipped; violations = List.rev !violations }

@@ -1,0 +1,26 @@
+(** The retired list-scan regularity checker, kept verbatim as a test
+    and benchmark oracle.
+
+    This is the original O(W³)/O(R·W)/O(R²) implementation of
+    {!Regularity.check}: nested [List.iter] scans whose verdicts are
+    easy to audit against the MWMR-regularity definition by eye.  The
+    production checker in {!Regularity} is a sorted-array interval
+    sweep that must return {e identical} reports (same violations in
+    the same order, same checked/skipped counts) on every history —
+    the equivalence is enforced by a qcheck suite over random valid
+    and mutated histories and by the regression corpus, and the
+    speedup is measured by the benchmark harness (see [bench/]).
+
+    Do not call this from production paths: on a 10k-op history it is
+    ≥10× slower than the sweep. *)
+
+val order_violations :
+  after:int ->
+  ts_prec:('ts -> 'ts -> bool) ->
+  'ts Regularity.wrec list ->
+  Regularity.violation list
+(** The Lemma 8 scan over isolated consecutive write pairs, exactly as
+    the retired implementation performed it. *)
+
+val check : ?after:int -> ts_prec:('ts -> 'ts -> bool) -> 'ts History.t -> Regularity.report
+(** Same contract as {!Regularity.check}; quadratic-or-worse. *)

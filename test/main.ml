@@ -21,6 +21,7 @@ let () =
       ("read-labels", Test_read_labels.suite);
       ("spec", Test_spec.suite);
       ("checker-props", Test_checker_props.suite);
+      ("checker-equiv", Test_regularity_equiv.suite);
       ("cyclic", Test_cyclic.suite);
       ("server", Test_server.suite);
       ("system", Test_system.suite);

@@ -58,6 +58,38 @@ let test_growth () =
   done;
   Alcotest.(check bool) "monotone drain of 10k" true !ok
 
+(* Popped payloads must not stay reachable from the heap's backing
+   store.  Track a payload through a weak pointer: after popping it and
+   dropping our own reference, a major GC must be able to collect it —
+   which can only happen if [pop] released its slot. *)
+let test_pop_releases_payload () =
+  let h = Heap.create () in
+  let weak = Weak.create 1 in
+  let () =
+    (* Allocate the payload in a sub-scope so no local keeps it alive. *)
+    let payload = ref 42 in
+    Weak.set weak 0 (Some payload);
+    Heap.push h ~time:1 ~seq:0 payload;
+    Heap.push h ~time:2 ~seq:1 (ref 0);
+    ignore (Heap.pop h)
+  in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload was collected" false (Weak.check weak 0);
+  Alcotest.(check int) "remaining entry still queued" 1 (Heap.size h)
+
+let test_clear_releases_payloads () =
+  let h = Heap.create () in
+  let weak = Weak.create 1 in
+  let () =
+    let payload = ref 7 in
+    Weak.set weak 0 (Some payload);
+    Heap.push h ~time:1 ~seq:0 payload;
+    Heap.clear h
+  in
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload was collected" false (Weak.check weak 0);
+  Alcotest.(check bool) "heap empty" true (Heap.is_empty h)
+
 let qcheck_sorted_drain =
   QCheck.Test.make ~name:"heap: drain is sorted by (time, seq)" ~count:200
     QCheck.(list (pair (int_bound 100) (int_bound 100)))
@@ -79,5 +111,7 @@ let suite =
     Alcotest.test_case "peek does not pop" `Quick test_peek_does_not_pop;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "growth to 10k" `Quick test_growth;
+    Alcotest.test_case "pop releases payload slot" `Quick test_pop_releases_payload;
+    Alcotest.test_case "clear releases payload slots" `Quick test_clear_releases_payloads;
     QCheck_alcotest.to_alcotest qcheck_sorted_drain;
   ]

@@ -88,10 +88,11 @@ let test_floats () =
       1.7976931348623157e308 (* max_float *);
       -0.0;
     ];
-  (* infinities survive via the 1e999 overflow trick *)
-  (match J.of_string (J.to_string (J.Float infinity)) with
-  | Ok (J.Float f) -> Alcotest.(check bool) "inf" true (f = infinity)
-  | other -> Alcotest.failf "inf: %s" (match other with Ok j -> J.to_string j | Error e -> e));
+  (* JSON has no non-finite literals: like NaN, infinities degrade to
+     null so standard parsers accept everything we emit (the retired
+     1e999 overflow trick was our-parser-only) *)
+  Alcotest.(check string) "inf -> null" "null" (J.to_string (J.Float infinity));
+  Alcotest.(check string) "-inf -> null" "null" (J.to_string (J.Float neg_infinity));
   (* NaN has no JSON form and is emitted as null *)
   Alcotest.(check string) "nan -> null" "null" (J.to_string (J.Float nan));
   (* ints and floats stay distinct through the pipe *)

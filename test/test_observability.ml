@@ -76,7 +76,29 @@ let test_hist_percentile () =
   Alcotest.(check (float 0.0)) "p50 -> median bucket" 4.0 (pct 50.0);
   Alcotest.(check (float 0.0)) "p99 -> overflow clamps to last bound" 8.0 (pct 99.0);
   Alcotest.(check (float 0.0)) "empty -> 0" 0.0
-    (Sbft_harness.Stats.hist_percentile ~bounds ~counts:[| 0; 0; 0; 0; 0 |] 50.0)
+    (Sbft_harness.Stats.hist_percentile ~bounds ~counts:[| 0; 0; 0; 0; 0 |] 50.0);
+  (* the clamp is no longer silent: overflow ranks carry a saturation
+     flag, in-range ranks do not *)
+  let sat p = Sbft_harness.Stats.hist_percentile_sat ~bounds ~counts p in
+  Alcotest.(check (pair (float 0.0) bool)) "p99 saturated" (8.0, true) (sat 99.0);
+  Alcotest.(check (pair (float 0.0) bool)) "p50 not saturated" (4.0, false) (sat 50.0);
+  Alcotest.(check (pair (float 0.0) bool)) "empty not saturated" (0.0, false)
+    (Sbft_harness.Stats.hist_percentile_sat ~bounds ~counts:[| 0; 0; 0; 0; 0 |] 50.0);
+  (* every sample past the last bound: saturated even at p50 *)
+  Alcotest.(check (pair (float 0.0) bool)) "all-overflow histogram saturates p50" (8.0, true)
+    (Sbft_harness.Stats.hist_percentile_sat ~bounds ~counts:[| 0; 0; 0; 0; 4 |] 50.0);
+  (* and the metrics JSON marks which percentiles were clamped *)
+  let hist : Sbft_sim.Metrics.hist_snapshot =
+    { count = 5; sum = 30.0; min = 1.0; max = 16.0; bounds; counts }
+  in
+  let j = Sbft_harness.Artifacts.histogram_json hist in
+  (match Sbft_sim.Json.member "saturated" j with
+  | Some (Sbft_sim.Json.List [ Sbft_sim.Json.String "p95"; Sbft_sim.Json.String "p99" ]) -> ()
+  | Some other -> Alcotest.failf "saturated marker: %s" (Sbft_sim.Json.to_string other)
+  | None -> Alcotest.fail "saturated marker missing");
+  let hist_ok = { hist with counts = [| 1; 0; 3; 1; 0 |] } in
+  Alcotest.(check bool) "no marker when nothing clamps" true
+    (Sbft_sim.Json.member "saturated" (Sbft_harness.Artifacts.histogram_json hist_ok) = None)
 
 let test_percentile_edges () =
   let xs = [| 5.0; 1.0; 3.0 |] in
