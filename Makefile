@@ -24,10 +24,11 @@ bench:
 	dune exec bench/main.exe
 
 # Regenerate the committed perf baseline (engine events/sec, fuzz
-# schedules/sec, checker µs per 10k-op history, E12 micro table); CI
-# gates `sbftreg bench --baseline BENCH_PR5.json` against it.
+# schedules/sec, checker µs per 10k-op history, tracing-overhead rows,
+# E12 micro table); CI gates `sbftreg bench --baseline BENCH_PR6.json`
+# against it.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR5.json
+	dune exec bench/main.exe -- --json BENCH_PR6.json
 
 # Sample run artifacts (committed reference inputs for sbftreg
 # replay/analyze/diff; also a smoke test of the whole artifact loop:

@@ -21,6 +21,31 @@ let compare_streams ~expected ~got =
   in
   go 0 expected got
 
+(* A [Sampled]-level artifact holds a deterministic subsequence of the
+   full stream, so exact comparison would report false divergence on
+   every unsampled event.  Containment in order is the right check:
+   every recorded event must appear in the replayed full stream, in
+   the recorded order.  (Timestamps are part of each entry, so a
+   reordered or retimed run still diverges.) *)
+let compare_subsequence ~expected ~got =
+  let rec seek e = function
+    | [] -> None
+    | g :: rest -> if e = g then Some rest else seek e rest
+  in
+  let rec go i exp got =
+    match exp with
+    | [] -> { matched = i; divergence = None }
+    | e :: exp' -> (
+        match seek e got with
+        | Some rest -> go (i + 1) exp' rest
+        | None -> { matched = i; divergence = Some { index = i; expected = Some e; got = None } })
+  in
+  go 0 expected got
+
+let compare_for_level ~trace_level ~expected ~got =
+  if trace_level = "sampled" then compare_subsequence ~expected ~got
+  else compare_streams ~expected ~got
+
 let fingerprint_mismatch ~(header : Run_header.t) ~fingerprint =
   header.fingerprint <> "" && fingerprint <> "" && header.fingerprint <> fingerprint
 

@@ -23,6 +23,23 @@ type verdict = {
 val compare_streams :
   expected:(int * Sbft_sim.Event.t) list -> got:(int * Sbft_sim.Event.t) list -> verdict
 
+val compare_subsequence :
+  expected:(int * Sbft_sim.Event.t) list -> got:(int * Sbft_sim.Event.t) list -> verdict
+(** Containment in order: every recorded event appears in the replayed
+    stream, in recorded order.  The check for artifacts recorded at
+    {!Sbft_sim.Trace.Sampled} — a deterministic subsequence of the
+    full stream by construction, so equality would false-positive on
+    every unsampled event.  [divergence.got = None] means the next
+    recorded event was never found. *)
+
+val compare_for_level :
+  trace_level:string ->
+  expected:(int * Sbft_sim.Event.t) list ->
+  got:(int * Sbft_sim.Event.t) list ->
+  verdict
+(** Dispatch on {!Run_header.t}[.trace_level]: ["sampled"] uses
+    {!compare_subsequence}, everything else exact {!compare_streams}. *)
+
 val fingerprint_mismatch : header:Run_header.t -> fingerprint:string -> bool
 (** True when both fingerprints are known and differ — the replayed
     binary is not the recorder, so a divergence may be a code change

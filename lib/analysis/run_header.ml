@@ -16,6 +16,7 @@ type t = {
   note : string;
   trace_cap : int;
   snapshot_every : int;
+  trace_level : string;
   fingerprint : string;
 }
 
@@ -23,10 +24,12 @@ let schema_version = 2
 
 let default_delay_policy = "uniform-10"
 
+let default_trace_level = "on"
+
 let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false)
     ?(delay_policy = default_delay_policy) ?(plan = []) ?(verdict = "") ?(note = "")
-    ?(trace_cap = 4096) ?(snapshot_every = 0) ?(fingerprint = "") ~seed ~n ~f ~clients
-    ~ops_per_client ~write_ratio () =
+    ?(trace_cap = 4096) ?(snapshot_every = 0) ?(trace_level = default_trace_level)
+    ?(fingerprint = "") ~seed ~n ~f ~clients ~ops_per_client ~write_ratio () =
   {
     schema;
     seed;
@@ -43,6 +46,7 @@ let make ?(schema = schema_version) ?(strategy = None) ?(corrupt = false)
     note;
     trace_cap;
     snapshot_every;
+    trace_level;
     fingerprint;
   }
 
@@ -68,6 +72,7 @@ let to_json h =
             ("note", J.String h.note);
             ("trace_cap", J.Int h.trace_cap);
             ("snapshot_every", J.Int h.snapshot_every);
+            ("trace_level", J.String h.trace_level);
             ("fingerprint", J.String h.fingerprint);
           ] );
     ]
@@ -139,6 +144,8 @@ let of_json j =
   let note = str_default "note" "" in
   let* trace_cap = int "trace_cap" in
   let* snapshot_every = int "snapshot_every" in
+  (* pre-PR6 artifacts recorded only full traces *)
+  let trace_level = str_default "trace_level" default_trace_level in
   let* fingerprint =
     match J.member "fingerprint" h with
     | Some (J.String s) -> Ok s
@@ -161,6 +168,7 @@ let of_json j =
       note;
       trace_cap;
       snapshot_every;
+      trace_level;
       fingerprint;
     }
 
@@ -170,6 +178,7 @@ let pp fmt h =
     (Option.value ~default:"-" h.strategy)
     h.delay_policy
     (if h.corrupt then " corrupt" else "");
+  if h.trace_level <> default_trace_level then Format.fprintf fmt " trace=%s" h.trace_level;
   if h.plan <> [] then Format.fprintf fmt " plan=%s" (String.concat "," h.plan);
   if h.verdict <> "" then Format.fprintf fmt " verdict=%s" h.verdict;
   if h.note <> "" then Format.fprintf fmt " (%s)" h.note

@@ -35,12 +35,20 @@ type t = {
   note : string;  (** free-form provenance, e.g. the lemma exercised *)
   trace_cap : int;  (** forensic ring capacity *)
   snapshot_every : int;  (** server-state snapshot period, 0 = off *)
+  trace_level : string;
+      (** {!Sbft_sim.Trace.level_to_string} of the level the artifact
+          was recorded at; ["sampled"] artifacts hold a deterministic
+          subsequence of the full stream, and replay checks
+          subsequence containment instead of equality.  Absent in
+          pre-PR6 artifacts, defaulting to ["on"]. *)
   fingerprint : string;  (** digest of the producing executable, "" = unknown *)
 }
 
 val schema_version : int
 
 val default_delay_policy : string
+
+val default_trace_level : string
 
 val make :
   ?schema:int ->
@@ -52,6 +60,7 @@ val make :
   ?note:string ->
   ?trace_cap:int ->
   ?snapshot_every:int ->
+  ?trace_level:string ->
   ?fingerprint:string ->
   seed:int64 ->
   n:int ->

@@ -4,6 +4,7 @@ module Metrics = Sbft_sim.Metrics
 module Names = Sbft_sim.Metric_names
 module Trace = Sbft_sim.Trace
 module Event = Sbft_sim.Event
+module Profile = Sbft_sim.Profile
 
 type 'msg handler = src:int -> 'msg -> unit
 
@@ -12,6 +13,10 @@ type transport = Direct | Over_datalink of { capacity : int; loss : float; max_d
 type 'msg t = {
   engine : Engine.t;
   n : int;
+  servers : int;
+  (* endpoints [0, servers) run server automata; the rest are clients.
+     Only used to attribute handler time to the right profiler phase. *)
+  profile : Profile.t;
   rng : Rng.t;
   delay : Delay.t;
   handlers : 'msg handler option array;
@@ -33,10 +38,12 @@ type 'msg t = {
   node_delivered : int array;
 }
 
-let create engine ~endpoints ~delay ?classify ?(transport = Direct) () =
+let create engine ~endpoints ?(servers = 0) ~delay ?classify ?(transport = Direct) () =
   {
     engine;
     n = endpoints;
+    servers;
+    profile = Engine.profile engine;
     rng = Rng.split (Engine.rng engine);
     delay;
     handlers = Array.make endpoints None;
@@ -93,20 +100,25 @@ let drop t ~src ~dst ~kind reason =
 let deliver t ~src ~dst msg =
   let m = Engine.metrics t.engine in
   let tr = Engine.trace t.engine in
-  if t.down.(dst) then drop t ~src ~dst ~kind:(kind_of t msg) "crashed"
-  else
-    let kept = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
-    match kept, t.handlers.(dst) with
-    | Some payload, Some h ->
-        Metrics.incr m Names.net_delivered;
-        t.node_delivered.(dst) <- t.node_delivered.(dst) + 1;
-        if Trace.enabled tr then
-          Trace.emit tr ~time:(Engine.now t.engine)
-            (Event.Msg_delivered { src; dst; kind = kind_of t payload });
-        notify t `Deliver ~src ~dst payload;
-        h ~src payload
-    | None, _ -> drop t ~src ~dst ~kind:(kind_of t msg) "tampered"
-    | Some _, None -> drop t ~src ~dst ~kind:(kind_of t msg) "no_handler"
+  Profile.enter t.profile Profile.Delivery;
+  (if t.down.(dst) then drop t ~src ~dst ~kind:(kind_of t msg) "crashed"
+   else
+     let kept = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
+     match kept, t.handlers.(dst) with
+     | Some payload, Some h ->
+         Metrics.incr m Names.net_delivered;
+         t.node_delivered.(dst) <- t.node_delivered.(dst) + 1;
+         if Trace.enabled tr then
+           Trace.emit tr ~time:(Engine.now t.engine)
+             (Event.Msg_delivered { src; dst; kind = kind_of t payload });
+         notify t `Deliver ~src ~dst payload;
+         Profile.enter t.profile
+           (if dst < t.servers then Profile.Server_step else Profile.Client_step);
+         h ~src payload;
+         Profile.leave t.profile
+     | None, _ -> drop t ~src ~dst ~kind:(kind_of t msg) "tampered"
+     | Some _, None -> drop t ~src ~dst ~kind:(kind_of t msg) "no_handler");
+  Profile.leave t.profile
 
 let enqueue t ~src ~dst ~delay_ticks msg =
   let c = chan t ~src ~dst in
@@ -147,6 +159,7 @@ let transmit_now t ~src ~dst msg =
 
 let send t ~src ~dst msg =
   if not t.down.(src) then begin
+    Profile.enter t.profile Profile.Delivery;
     let m = Engine.metrics t.engine in
     Metrics.incr m Names.net_sent;
     t.node_sent.(src) <- t.node_sent.(src) + 1;
@@ -157,11 +170,12 @@ let send t ~src ~dst msg =
     if Trace.enabled tr then
       Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_sent { src; dst; kind = kind_of t msg });
     notify t `Send ~src ~dst msg;
-    if partitioned t ~src ~dst then begin
-      Metrics.incr m Names.net_parked;
-      Queue.push (src, dst, msg) t.parked_q
-    end
-    else transmit_now t ~src ~dst msg
+    (if partitioned t ~src ~dst then begin
+       Metrics.incr m Names.net_parked;
+       Queue.push (src, dst, msg) t.parked_q
+     end
+     else transmit_now t ~src ~dst msg);
+    Profile.leave t.profile
   end
 
 let partition t ~groups =

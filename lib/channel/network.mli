@@ -34,6 +34,7 @@ type transport =
 val create :
   Sbft_sim.Engine.t ->
   endpoints:int ->
+  ?servers:int ->
   delay:Delay.t ->
   ?classify:('msg -> string) ->
   ?transport:transport ->
@@ -43,7 +44,12 @@ val create :
     [endpoints] endpoints (ids [0 .. endpoints-1]).  [classify] names
     message constructors for per-type counters in the engine metrics.
     [delay] applies to [Direct] transport; [Over_datalink] channels
-    pace themselves by their own [max_delay]. Default [Direct]. *)
+    pace themselves by their own [max_delay]. Default [Direct].
+    [servers] tells the engine self-profiler which endpoints run server
+    automata (ids [0 .. servers-1]); handler time at those endpoints is
+    charged to [Server_step], the rest to [Client_step].  Default [0]
+    (everything counts as client time); irrelevant unless the engine's
+    {!Sbft_sim.Profile} is enabled. *)
 
 val engine : 'msg t -> Sbft_sim.Engine.t
 

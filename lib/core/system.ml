@@ -17,14 +17,16 @@ type t = {
   fault_rng : Rng.t;
 }
 
-let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ?(trace = false) ?(trace_capacity = 4096)
-    ?transport ?engine cfg =
+let create ?(seed = 42L) ?(delay = Delay.uniform ~max:10) ?(trace = false) ?trace_level
+    ?(trace_capacity = 4096) ?sample ?sample_seed ?transport ?engine cfg =
   let engine =
-    match engine with Some e -> e | None -> Engine.create ~trace ~trace_capacity ~seed ()
+    match engine with
+    | Some e -> e
+    | None -> Engine.create ~trace ?trace_level ~trace_capacity ?sample ?sample_seed ~seed ()
   in
   let net =
-    Network.create engine ~endpoints:(Config.endpoints cfg) ~delay ~classify:Msg.classify
-      ?transport ()
+    Network.create engine ~endpoints:(Config.endpoints cfg) ~servers:cfg.n ~delay
+      ~classify:Msg.classify ?transport ()
   in
   let sys = Sbls.system ~k:cfg.k in
   let servers = Array.init cfg.n (fun id -> Server.create cfg sys net ~id) in

@@ -14,21 +14,27 @@ val create :
   ?seed:int64 ->
   ?delay:Sbft_channel.Delay.t ->
   ?trace:bool ->
+  ?trace_level:Sbft_sim.Trace.level ->
   ?trace_capacity:int ->
+  ?sample:float ->
+  ?sample_seed:int64 ->
   ?transport:Sbft_channel.Network.transport ->
   ?engine:Sbft_sim.Engine.t ->
   Config.t ->
   t
 (** Build and wire a deployment. Default seed [42L], default delay
     [Delay.uniform ~max:10], default transport [Direct].
-    [trace_capacity] sizes the forensic event ring (default 4096
-    entries; sinks always see every event regardless).  Pass
+    [trace]/[trace_level]/[sample]/[sample_seed] configure the engine
+    trace (see {!Sbft_sim.Engine.create}); none of them perturb the
+    simulation itself.  [trace_capacity] sizes the forensic event ring
+    (default 4096 entries; sinks always see every event regardless).
+    Pass
     [Over_datalink] to run the register over the full channel stack —
     stabilizing data-links over bounded lossy non-FIFO channels — at
     roughly an order of magnitude more low-level packets.  Pass
     [engine] to share one virtual clock across several deployments
-    (e.g. the shards of {!Sbft_kv.Store}); [seed]/[trace] are then
-    ignored in favour of the shared engine's. *)
+    (e.g. the shards of {!Sbft_kv.Store}); [seed] and the trace options
+    are then ignored in favour of the shared engine's. *)
 
 val config : t -> Config.t
 

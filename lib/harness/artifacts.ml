@@ -30,7 +30,8 @@ let histogram_json (h : Metrics.hist_snapshot) =
         ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
       ])
 
-let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ~metrics ~per_node () =
+let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ?shards ?profile ~metrics
+    ~per_node () =
   let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in
   let histograms = List.map (fun (k, h) -> (k, histogram_json h)) (Metrics.histograms metrics) in
   let nodes =
@@ -57,6 +58,8 @@ let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ~metrics ~per
   let base =
     match telemetry with Some j -> base @ [ ("telemetry", j) ] | None -> base
   in
+  let base = match shards with Some j -> base @ [ ("shards", j) ] | None -> base in
+  let base = match profile with Some j -> base @ [ ("profile", j) ] | None -> base in
   J.Obj ((if run = [] then [] else [ ("run", J.Obj run) ]) @ base)
 
 let write_file ~path json =

@@ -11,7 +11,9 @@
       "stabilization": { "corruption_tick", "last_abort",
                          "first_clean_read", "convergence_ticks" },
       "regularity":    { "checked", "violations" },
-      "telemetry":     { "snapshots", "series", "summary" } }
+      "telemetry":     { "snapshots", "series", "summary" },
+      "shards":        { "target", "ok", "shards": [ per-shard SLO rows ] },
+      "profile":       { "wall_s", "phases", "top_events", "events_total" } }
     v}
     Metric names are the registry's ({!Sbft_sim.Metric_names});
     histogram percentiles are nearest-rank over the fixed buckets
@@ -24,11 +26,16 @@ val metrics_json :
   ?stabilization:Probe.report ->
   ?regularity:int * int ->
   ?telemetry:Sbft_sim.Json.t ->
+  ?shards:Sbft_sim.Json.t ->
+  ?profile:Sbft_sim.Json.t ->
   metrics:Sbft_sim.Metrics.t ->
   per_node:(int * int) array ->
   unit ->
   Sbft_sim.Json.t
 (** [regularity] is [(checked, violations)]; [telemetry] is
-    {!Telemetry.to_json}'s convergence block, embedded verbatim. *)
+    {!Telemetry.to_json}'s convergence block, [shards] is
+    {!Slo.to_json}'s per-shard SLO block and [profile] is
+    {!Sbft_sim.Profile.to_json}'s self-profile — each embedded
+    verbatim. *)
 
 val write_file : path:string -> Sbft_sim.Json.t -> unit

@@ -13,12 +13,21 @@ type checker = {
   speedup : float;
 }
 
+type overhead = {
+  off_events_per_s : float;
+  sampled_events_per_s : float;
+  full_events_per_s : float;
+  sampled_overhead_pct : float;
+  full_overhead_pct : float;
+}
+
 type t = {
   engine_events_per_s : float;
   engine_runs : int;
   fuzz_schedules_per_s : float;
   fuzz_executed : int;
   checker : checker;
+  overhead : overhead;
 }
 
 (* A valid steady-state audit workload: sequential completed writes,
@@ -63,18 +72,41 @@ let time_once f =
   let r = f () in
   (r, Clock.elapsed_s t0)
 
-let bench_engine ~min_s =
-  (* A fixed mixed scenario, executed end to end; throughput is the
-     emitted-event rate, the engine's unit of progress. *)
-  let s = { Scenario.default with seed = 11L; ops_per_client = 25 } in
-  let events = ref 0 in
+(* A fixed mixed scenario executed end to end; throughput is the
+   fired-thunk rate ([Engine.events_fired]), the engine's unit of
+   progress.  Fired thunks — unlike the emitted-event count used before
+   PR 6 — exist at every trace level, so the same yardstick measures
+   the scenario with tracing off, sampled and full. *)
+let bench_scenario = { Scenario.default with seed = 11L; ops_per_client = 25 }
+
+let engine_rate ~level ~min_s =
+  let fired = ref 0 in
   let one () =
-    match Scenario.execute s with
-    | Ok r -> events := !events + List.length r.events
+    match Scenario.execute ~level bench_scenario with
+    | Ok r -> fired := !fired + Sbft_sim.Engine.events_fired (Sbft_core.System.engine r.sys)
     | Error e -> failwith ("bench_engine: " ^ e)
   in
   let runs, elapsed = repeat_for ~min_s one in
-  (float_of_int !events /. elapsed, runs)
+  (float_of_int !fired /. elapsed, runs)
+
+let bench_engine ~min_s = engine_rate ~level:Sbft_sim.Trace.On ~min_s
+
+(* The tracing-overhead dial: the same scenario at Off / Sampled / On.
+   Off is the no-op fast path the ISSUE requires to stay within a few
+   percent of a build with no observability at all; the overhead
+   percentages quantify what turning the dial up costs. *)
+let bench_overhead ~min_s =
+  let off, _ = engine_rate ~level:Sbft_sim.Trace.Off ~min_s in
+  let sampled, _ = engine_rate ~level:Sbft_sim.Trace.Sampled ~min_s in
+  let full, _ = engine_rate ~level:Sbft_sim.Trace.On ~min_s in
+  let pct slower = if off <= 0.0 then 0.0 else 100.0 *. (1.0 -. (slower /. off)) in
+  {
+    off_events_per_s = off;
+    sampled_events_per_s = sampled;
+    full_events_per_s = full;
+    sampled_overhead_pct = pct sampled;
+    full_overhead_pct = pct full;
+  }
 
 let bench_fuzz ~iterations =
   let report, elapsed =
@@ -111,7 +143,8 @@ let run ?(quick = false) () =
   let engine_events_per_s, engine_runs = bench_engine ~min_s in
   let fuzz_schedules_per_s, fuzz_executed = bench_fuzz ~iterations:(if quick then 30 else 150) in
   let checker = bench_checker ~n_ops:(if quick then 1_000 else 10_000) ~min_s in
-  { engine_events_per_s; engine_runs; fuzz_schedules_per_s; fuzz_executed; checker }
+  let overhead = bench_overhead ~min_s in
+  { engine_events_per_s; engine_runs; fuzz_schedules_per_s; fuzz_executed; checker; overhead }
 
 let to_json r =
   J.Obj
@@ -138,16 +171,27 @@ let to_json r =
             ("oracle_us_per_history", J.Float r.checker.oracle_us);
             ("speedup", J.Float r.checker.speedup);
           ] );
+      ( "tracing_overhead",
+        J.Obj
+          [
+            ("off_events_per_s", J.Float r.overhead.off_events_per_s);
+            ("sampled_events_per_s", J.Float r.overhead.sampled_events_per_s);
+            ("full_events_per_s", J.Float r.overhead.full_events_per_s);
+            ("sampled_overhead_pct", J.Float r.overhead.sampled_overhead_pct);
+            ("full_overhead_pct", J.Float r.overhead.full_overhead_pct);
+          ] );
     ]
 
 let pp fmt r =
   Format.fprintf fmt
     "@[<v>engine:  %.0f events/s (%d runs timed)@,\
      fuzz:    %.1f schedules/s (%d executed)@,\
-     checker: %.1f us/history (%d ops: %d writes, %d reads); oracle %.1f us; speedup %.1fx@]"
+     checker: %.1f us/history (%d ops: %d writes, %d reads); oracle %.1f us; speedup %.1fx@,\
+     tracing: off %.0f ev/s, sampled %.0f ev/s (%.1f%% slower), full %.0f ev/s (%.1f%% slower)@]"
     r.engine_events_per_s r.engine_runs r.fuzz_schedules_per_s r.fuzz_executed r.checker.sweep_us
     r.checker.hist_ops r.checker.hist_writes r.checker.hist_reads r.checker.oracle_us
-    r.checker.speedup
+    r.checker.speedup r.overhead.off_events_per_s r.overhead.sampled_events_per_s
+    r.overhead.sampled_overhead_pct r.overhead.full_events_per_s r.overhead.full_overhead_pct
 
 (* ------------------------------------------------------------------ *)
 (* Baseline comparison: the CI regression gate. *)
@@ -166,10 +210,14 @@ let compare_to_baseline ~tolerance ~baseline r =
      latency to a throughput before comparing. *)
   let gates =
     [
+      ("engine.events_per_s", number baseline [ "engine"; "events_per_s" ], r.engine_events_per_s);
       ("fuzz.schedules_per_s", number baseline [ "fuzz"; "schedules_per_s" ], r.fuzz_schedules_per_s);
       ( "checker.histories_per_s",
         Option.map (fun us -> 1e6 /. us) (number baseline [ "checker"; "sweep_us_per_history" ]),
         1e6 /. r.checker.sweep_us );
+      ( "tracing.off_events_per_s",
+        number baseline [ "tracing_overhead"; "off_events_per_s" ],
+        r.overhead.off_events_per_s );
     ]
   in
   List.filter_map

@@ -4,21 +4,27 @@
     by (ROADMAP: "as fast as the hardware allows"):
 
     - {b engine events/sec} — end-to-end simulator throughput on a
-      fixed mixed scenario;
+      fixed mixed scenario, counted in fired thunks
+      ({!Sbft_sim.Engine.events_fired}) so the same yardstick exists at
+      every trace level;
     - {b fuzz schedules/sec} — full campaign iterations per second
       (execute + coverage + corpus bookkeeping);
     - {b checker µs per 10k-op history} — one sweep-based
       {!Sbft_spec.Regularity.check} over a synthetic steady-state
       audit history, with the retired scan
       ({!Sbft_spec.Regularity_oracle}) timed once alongside for the
-      speedup ratio.
+      speedup ratio;
+    - {b tracing overhead} — the same scenario with the trace dial at
+      [Off] / [Sampled] / [On], quantifying what observability costs
+      (the [Off] fast path is required to stay within a few percent of
+      a build with no observability at all).
 
     Wall-clock timed ({!Clock}), deterministic workloads (fixed seeds);
     only the timings vary run to run.  [sbftreg bench] and
     [bench/main.exe --json] both emit {!to_json}, and
     {!compare_to_baseline} implements the CI gate that fails on a >30%
     throughput regression against the committed baseline
-    ([BENCH_PR5.json]). *)
+    ([BENCH_PR6.json]). *)
 
 type checker = {
   hist_ops : int;
@@ -29,12 +35,21 @@ type checker = {
   speedup : float;  (** [oracle_us /. sweep_us] *)
 }
 
+type overhead = {
+  off_events_per_s : float;  (** trace dial at {!Sbft_sim.Trace.Off}: the no-op fast path *)
+  sampled_events_per_s : float;
+  full_events_per_s : float;
+  sampled_overhead_pct : float;  (** percent slower than [Off] (negative = faster, i.e. noise) *)
+  full_overhead_pct : float;
+}
+
 type t = {
-  engine_events_per_s : float;
+  engine_events_per_s : float;  (** fired thunks/sec at trace [On] *)
   engine_runs : int;  (** scenario executions the rate was averaged over *)
   fuzz_schedules_per_s : float;
   fuzz_executed : int;
   checker : checker;
+  overhead : overhead;
 }
 
 val synthetic_history :
@@ -59,7 +74,11 @@ type regression = {
 
 val compare_to_baseline :
   tolerance:float -> baseline:Sbft_sim.Json.t -> t -> regression list
-(** Gate on the two rates the ISSUE tracks: fuzz schedules/sec and
-    checker throughput (1e6 / sweep µs).  A metric regresses when
+(** Gate on four rates: engine events/sec, fuzz schedules/sec, checker
+    throughput (1e6 / sweep µs) and tracing-off events/sec (the no-op
+    fast path must not silently grow a cost).  A metric regresses when
     [current < (1 - tolerance) * baseline]; metrics missing from the
-    baseline are skipped.  Empty list = gate passes. *)
+    baseline are skipped — so pre-PR6 baselines only gate the first
+    three, and BENCH_PR5-era engine numbers (emitted-event based,
+    strictly lower than fired-thunk counts) can never false-fail.
+    Empty list = gate passes. *)

@@ -85,6 +85,12 @@ val e21_scale : unit -> Table.t
     growing synthetic audit histories and a 10k-op n=31/f=6 run, with
     bit-for-bit report equality asserted on every row. *)
 
+val e22_observability : unit -> Table.t
+(** Observability overhead: one 10^5-op workload against a 16-shard
+    store with the trace dial at every level, wall-clock timed.  Fired
+    thunks are identical across rows (the dial never perturbs the
+    simulation); only wall time, sink volume and ring retention move. *)
+
 val all : unit -> Table.t list
 
 val by_id : string -> (unit -> Table.t) option

@@ -1,0 +1,57 @@
+module Engine = Sbft_sim.Engine
+
+(* Live heartbeat for long runs.  The probe re-arms itself on the
+   virtual clock (like Telemetry) but *paces* on the monotonic wall
+   clock: a heartbeat fires when enough real seconds have passed, not
+   every N virtual ticks — virtual throughput varies by orders of
+   magnitude across configurations, wall time is what a watching human
+   (or a CI log) experiences.  The probe only reads state, draws no
+   randomness and never touches handler scheduling, so attaching it
+   cannot change a run's history or verdict. *)
+
+type t = {
+  engine : Engine.t;
+  every_s : float;
+  poll_ticks : int;
+  out : out_channel;
+  render : unit -> string;
+  started_ns : int64;
+  mutable last_ns : int64;
+  mutable beats : int;
+}
+
+let beat t =
+  let elapsed = Clock.elapsed_s t.started_ns in
+  Printf.fprintf t.out "[progress +%.1fs vt=%d fired=%d] %s\n%!" elapsed (Engine.now t.engine)
+    (Engine.events_fired t.engine) (t.render ());
+  t.beats <- t.beats + 1
+
+let attach ?(every_s = 2.0) ?(poll_ticks = 1000) ?(out = stderr) engine render =
+  let t =
+    {
+      engine;
+      every_s = Float.max 0.0 every_s;
+      poll_ticks = max 1 poll_ticks;
+      out;
+      render;
+      started_ns = Clock.now_ns ();
+      last_ns = Clock.now_ns ();
+      beats = 0;
+    }
+  in
+  let rec tick () =
+    if Clock.elapsed_s t.last_ns >= t.every_s then begin
+      t.last_ns <- Clock.now_ns ();
+      beat t
+    end;
+    (* Re-arm only while real (non-daemon) work is queued, so quiesce
+       terminates; scheduled as a daemon so Telemetry's probe never
+       counts us as work either. *)
+    if Engine.pending t.engine > 0 then Engine.schedule ~daemon:true t.engine ~delay:t.poll_ticks tick
+  in
+  Engine.schedule ~daemon:true t.engine ~delay:t.poll_ticks tick;
+  t
+
+let finish t = beat t
+
+let beats t = t.beats

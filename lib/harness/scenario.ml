@@ -51,11 +51,12 @@ let default =
     snapshot_every = 50;
   }
 
-let to_header ?(fingerprint = "") ?(verdict = "") ?(note = "") t =
+let to_header ?(fingerprint = "") ?(verdict = "") ?(note = "")
+    ?(trace_level = Run_header.default_trace_level) t =
   Run_header.make ~strategy:t.strategy ~corrupt:t.corrupt ~delay_policy:t.delay
     ~plan:(Fault_plan.to_strings t.plan) ~verdict ~note ~trace_cap:t.trace_cap
-    ~snapshot_every:t.snapshot_every ~fingerprint ~seed:t.seed ~n:t.n ~f:t.f ~clients:t.clients
-    ~ops_per_client:t.ops_per_client ~write_ratio:t.write_ratio ()
+    ~snapshot_every:t.snapshot_every ~trace_level ~fingerprint ~seed:t.seed ~n:t.n ~f:t.f
+    ~clients:t.clients ~ops_per_client:t.ops_per_client ~write_ratio:t.write_ratio ()
 
 let of_header (h : Run_header.t) =
   match Fault_plan.of_strings h.plan with
@@ -106,7 +107,8 @@ let incomplete_ops ?(since = 0) h =
          | _ -> false)
        (History.ops h))
 
-let execute ?sink ?(max_events = 20_000_000) t =
+let execute ?sink ?(level = Trace.On) ?sample ?(profile = false) ?on_system
+    ?(max_events = 20_000_000) t =
   let ( let* ) = Result.bind in
   let* strategy =
     match t.strategy with
@@ -132,16 +134,26 @@ let execute ?sink ?(max_events = 20_000_000) t =
     else Error "fault plan references endpoints outside the system"
   in
   let cfg = Config.make ~allow_unsafe:true ~n:t.n ~f:t.f ~clients:t.clients () in
-  let sys = System.create ~seed:t.seed ~delay ~trace:true ~trace_capacity:t.trace_cap cfg in
+  let sys =
+    System.create ~seed:t.seed ~delay ~trace_level:level ?sample ~trace_capacity:t.trace_cap cfg
+  in
   let engine = System.engine sys in
   let tr = Engine.trace engine in
+  let prof = Engine.profile engine in
+  if profile then Sbft_sim.Profile.enable prof;
+  (* Sinks see the level-filtered stream: at [Sampled] the recorded
+     [events] (and any [sink]) are the thinned artifact, while the ring
+     keeps the forensic window.  The profiler's event attribution
+     follows the same stream — it counts what the artifact contains. *)
   let events = ref [] in
   Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
+  if profile then Trace.add_sink tr (Sbft_sim.Profile.event_sink prof);
   Option.iter (Trace.add_sink tr) sink;
   (match strategy with Some s -> ignore (Strategy.install_all sys s) | None -> ());
   if t.corrupt then System.corrupt_everything sys ~severity:`Heavy;
   Fault_plan.apply sys t.plan;
   let telemetry = Telemetry.attach ~snapshot_every:t.snapshot_every sys in
+  (match on_system with Some f -> f sys | None -> ());
   let reg = Register.core sys in
   let spec =
     { Workload.default with ops_per_client = t.ops_per_client; write_ratio = t.write_ratio }
@@ -161,7 +173,10 @@ let execute ?sink ?(max_events = 20_000_000) t =
         | _ -> acc)
       max_int (History.ops history)
   in
-  let report = Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history in
+  let report =
+    Sbft_sim.Profile.with_phase prof Sbft_sim.Profile.Checker (fun () ->
+        Regularity.check ~after ~ts_prec:Sbft_labels.Mw_ts.prec history)
+  in
   List.iter
     (fun (v : Regularity.violation) ->
       Trace.emit tr ~time:(Engine.now engine)

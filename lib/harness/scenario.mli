@@ -40,9 +40,18 @@ val default : t
     write ratio 0.3, uniform-10 delays, empty fault plan, trace cap
     4096, snapshots every 50 ticks. *)
 
-val to_header : ?fingerprint:string -> ?verdict:string -> ?note:string -> t -> Sbft_analysis.Run_header.t
+val to_header :
+  ?fingerprint:string ->
+  ?verdict:string ->
+  ?note:string ->
+  ?trace_level:string ->
+  t ->
+  Sbft_analysis.Run_header.t
 (** [verdict]/[note] let fuzz findings record their classification and
-    provenance; both default empty. *)
+    provenance; both default empty.  [trace_level] records the level
+    the accompanying event stream was captured at (default ["on"]) so
+    replay knows whether to expect the full stream or a sampled
+    subsequence. *)
 
 val of_header : Sbft_analysis.Run_header.t -> (t, string) result
 (** [Error] when the header's fault plan does not parse (e.g. an event
@@ -62,12 +71,30 @@ type run = {
   events : (int * Sbft_sim.Event.t) list;  (** every emitted event, in order *)
 }
 
-val execute : ?sink:Sbft_sim.Trace.sink -> ?max_events:int -> t -> (run, string) result
+val execute :
+  ?sink:Sbft_sim.Trace.sink ->
+  ?level:Sbft_sim.Trace.level ->
+  ?sample:float ->
+  ?profile:bool ->
+  ?on_system:(Sbft_core.System.t -> unit) ->
+  ?max_events:int ->
+  t ->
+  (run, string) result
 (** Run the scenario to quiescence.  [sink] additionally observes every
-    event as it is emitted (e.g. [Trace.jsonl_sink] for [--trace-out]);
-    [events] always collects the full stream for replay comparison.
-    [max_events] bounds the engine (default 20M; the fuzzer lowers it).
-    [Error] only for an unknown strategy or delay-policy name. *)
+    event as it is emitted (e.g. [Trace.jsonl_sink] for [--trace-out]).
+    [level] (default {!Sbft_sim.Trace.On}) and [sample] set the trace
+    dial: they live {e outside} the scenario record because they never
+    affect the simulation — the same [t] produces the same history and
+    verdict at every level, only [events] (and sinks) see more or less.
+    At [Sampled], [events] is the deterministically thinned stream and
+    the engine ring keeps the forensic window; replay/corpus recording
+    always uses [On].  [profile] arms the engine self-profiler
+    ({!Sbft_sim.Profile}) and attributes checker time.  [on_system]
+    runs once after the system is built and faults are scheduled but
+    before the workload starts — the hook the CLI uses to attach a
+    {!Progress} heartbeat; it must only observe, never perturb.
+    [max_events] bounds the engine (default 20M; the fuzzer lowers
+    it).  [Error] only for an unknown strategy or delay-policy name. *)
 
 val violation_kind : Sbft_spec.Regularity.violation -> string
 (** Short tag for the event record: stale/future/unwritten/inversion/order. *)

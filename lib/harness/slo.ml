@@ -1,0 +1,113 @@
+module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module J = Sbft_sim.Json
+
+type target = { p99_ticks : float; error_budget : float }
+
+let default_target = { p99_ticks = 400.0; error_budget = 0.05 }
+
+type percentiles = { p50 : float; p95 : float; p99 : float; saturated : bool }
+
+let no_samples = { p50 = 0.0; p95 = 0.0; p99 = 0.0; saturated = false }
+
+type shard = {
+  shard : int;
+  puts : int;
+  gets : int;
+  aborts : int;
+  put : percentiles;
+  get : percentiles;
+  worst_p99 : float;
+  latency_ok : bool;
+  budget_used : float;
+  budget_ok : bool;
+  ok : bool;
+}
+
+type report = { target : target; shards : shard list; ok : bool }
+
+let percentiles_of m name =
+  match Metrics.histogram m name with
+  | None -> no_samples
+  | Some h ->
+      let pct p = Stats.hist_percentile_sat ~bounds:h.bounds ~counts:h.counts p in
+      let p50, s50 = pct 50.0 in
+      let p95, s95 = pct 95.0 in
+      let p99, s99 = pct 99.0 in
+      { p50; p95; p99; saturated = s50 || s95 || s99 }
+
+let evaluate_shard ~target m ~shard =
+  let puts = Metrics.get m (Names.kv_shard ~shard Names.Shard_puts) in
+  let gets = Metrics.get m (Names.kv_shard ~shard Names.Shard_gets) in
+  let aborts = Metrics.get m (Names.kv_shard ~shard Names.Shard_aborts) in
+  let put = percentiles_of m (Names.kv_shard ~shard Names.Shard_put_ticks) in
+  let get = percentiles_of m (Names.kv_shard ~shard Names.Shard_get_ticks) in
+  let worst_p99 = Float.max put.p99 get.p99 in
+  (* A saturated percentile is only a lower bound on the truth, so it
+     can pass the target spuriously; treat saturation as a miss. *)
+  let latency_ok = worst_p99 <= target.p99_ticks && not (put.saturated || get.saturated) in
+  let total = puts + gets + aborts in
+  let bad_frac = if total = 0 then 0.0 else float_of_int aborts /. float_of_int total in
+  let budget_used = if target.error_budget <= 0.0 then Float.infinity else bad_frac /. target.error_budget in
+  let budget_used = if target.error_budget <= 0.0 && bad_frac = 0.0 then 0.0 else budget_used in
+  let budget_ok = budget_used <= 1.0 in
+  { shard; puts; gets; aborts; put; get; worst_p99; latency_ok; budget_used; budget_ok;
+    ok = latency_ok && budget_ok }
+
+let evaluate ?(target = default_target) ~shards m =
+  let rows = List.init shards (fun shard -> evaluate_shard ~target m ~shard) in
+  { target; shards = rows; ok = List.for_all (fun (s : shard) -> s.ok) rows }
+
+let percentiles_json p =
+  J.Obj
+    ([ ("p50", J.Float p.p50); ("p95", J.Float p.p95); ("p99", J.Float p.p99) ]
+    @ if p.saturated then [ ("saturated", J.Bool true) ] else [])
+
+let shard_json s =
+  J.Obj
+    [
+      ("shard", J.Int s.shard);
+      ("puts", J.Int s.puts);
+      ("gets", J.Int s.gets);
+      ("aborts", J.Int s.aborts);
+      ("put_ticks", percentiles_json s.put);
+      ("get_ticks", percentiles_json s.get);
+      ( "slo",
+        J.Obj
+          [
+            ("worst_p99", J.Float s.worst_p99);
+            ("latency_ok", J.Bool s.latency_ok);
+            ("budget_used", J.Float s.budget_used);
+            ("budget_ok", J.Bool s.budget_ok);
+            ("ok", J.Bool s.ok);
+          ] );
+    ]
+
+let to_json r =
+  J.Obj
+    [
+      ( "target",
+        J.Obj
+          [
+            ("p99_ticks", J.Float r.target.p99_ticks);
+            ("error_budget", J.Float r.target.error_budget);
+          ] );
+      ("ok", J.Bool r.ok);
+      ("shards", J.List (List.map shard_json r.shards));
+    ]
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>slo: target p99<=%.0f ticks, error budget %.1f%% -> %s@,"
+    r.target.p99_ticks
+    (100.0 *. r.target.error_budget)
+    (if r.ok then "OK" else "VIOLATED");
+  Format.fprintf fmt "  %5s %8s %8s %8s %8s %8s %8s %8s %7s %4s@," "shard" "puts" "gets"
+    "aborts" "put p50" "put p99" "get p50" "get p99" "budget" "slo";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %5d %8d %8d %8d %8.0f %8.0f %8.0f %8.0f %6.0f%% %4s@," s.shard
+        s.puts s.gets s.aborts s.put.p50 s.put.p99 s.get.p50 s.get.p99
+        (100.0 *. s.budget_used)
+        (if s.ok then "ok" else "MISS"))
+    r.shards;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,55 @@
+(** Per-shard service-level objectives over the store's metrics.
+
+    An SLO here is two numbers: a target p99 operation latency in
+    virtual ticks and an error budget — the fraction of operations
+    allowed to go bad (for the register, a {e bad} operation is an
+    aborted read: the transitory-phase answer the paper permits, which
+    a service bills against availability).  {!evaluate} folds the
+    engine metrics' per-shard counters and latency histograms
+    ([kv.shard.<i>.*], minted by {!Sbft_sim.Metric_names.kv_shard})
+    into one verdict per shard plus a store-wide conjunction.
+
+    Percentiles come from the saturation-aware histogram walk
+    ({!Stats.hist_percentile_sat}); a saturated percentile is only a
+    lower bound on the true latency, so it counts as a {e miss} rather
+    than letting overflow pass the target silently. *)
+
+type target = {
+  p99_ticks : float;  (** worst acceptable per-shard p99, virtual ticks *)
+  error_budget : float;  (** allowed bad-operation fraction, e.g. 0.05 *)
+}
+
+val default_target : target
+(** p99 <= 400 ticks, 5% error budget — loose enough for the default
+    uniform-10 delay policy, tight enough to flag a slow shard. *)
+
+type percentiles = { p50 : float; p95 : float; p99 : float; saturated : bool }
+
+type shard = {
+  shard : int;
+  puts : int;
+  gets : int;  (** value-returning gets *)
+  aborts : int;
+  put : percentiles;
+  get : percentiles;
+  worst_p99 : float;  (** max of put/get p99 — what the target gates *)
+  latency_ok : bool;
+  budget_used : float;
+      (** bad fraction / allowed fraction: 0 = untouched budget, 1 =
+          exactly spent, >1 = blown *)
+  budget_ok : bool;
+  ok : bool;  (** [latency_ok && budget_ok] *)
+}
+
+type report = { target : target; shards : shard list; ok : bool }
+
+val evaluate : ?target:target -> shards:int -> Sbft_sim.Metrics.t -> report
+(** Evaluate every shard id in [0, shards); shards that served no
+    operations report zeroes and pass trivially. *)
+
+val to_json : report -> Sbft_sim.Json.t
+(** The metrics artifact's ["shards"] member: target, per-shard rows
+    (counts, put/get percentiles, slo verdict) and the overall [ok]. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable per-shard table with a one-line verdict header. *)

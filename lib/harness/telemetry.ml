@@ -19,6 +19,8 @@ type t = {
 
 let take_snapshot t =
   let engine = System.engine t.sys in
+  let prof = Engine.profile engine in
+  Sbft_sim.Profile.enter prof Sbft_sim.Profile.Telemetry;
   let time = Engine.now engine in
   let tr = Engine.trace engine in
   let m = (System.label_system t.sys).m in
@@ -42,7 +44,8 @@ let take_snapshot t =
            })
   done;
   let d = Hashtbl.length stings in
-  t.snaps <- { time; distinct_labels = d; occupancy = float_of_int d /. float_of_int m } :: t.snaps
+  t.snaps <- { time; distinct_labels = d; occupancy = float_of_int d /. float_of_int m } :: t.snaps;
+  Sbft_sim.Profile.leave prof
 
 let attach ?(snapshot_every = 50) ?window sys =
   let window =
@@ -53,14 +56,16 @@ let attach ?(snapshot_every = 50) ?window sys =
   let t = { sys; snapshot_every; window; snaps = [] } in
   if snapshot_every > 0 then begin
     let engine = System.engine sys in
-    (* the probe re-arms only while other work is queued: at the tick
-       that finds an otherwise-empty heap it falls silent, so quiesce
-       still terminates *)
+    (* the probe re-arms only while real work is queued: at the tick
+       that finds nothing but daemon probes left it falls silent, so
+       quiesce still terminates.  Scheduled as a daemon so other probes
+       (e.g. Progress) never count it as work either — two probes
+       counting each other would livelock the engine. *)
     let rec tick () =
       take_snapshot t;
-      if Engine.pending engine > 0 then Engine.schedule engine ~delay:snapshot_every tick
+      if Engine.pending engine > 0 then Engine.schedule ~daemon:true engine ~delay:snapshot_every tick
     in
-    Engine.schedule engine ~delay:snapshot_every tick
+    Engine.schedule ~daemon:true engine ~delay:snapshot_every tick
   end;
   t
 

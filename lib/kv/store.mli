@@ -33,6 +33,9 @@ type outcome = Sbft_spec.History.read_outcome
 val create :
   ?seed:int64 ->
   ?delay:Sbft_channel.Delay.t ->
+  ?trace_level:Sbft_sim.Trace.level ->
+  ?sample:float ->
+  ?trace_capacity:int ->
   ?transport:Sbft_channel.Network.transport ->
   shards:int ->
   n:int ->
@@ -41,7 +44,11 @@ val create :
   unit ->
   t
 (** [clients] is the number of logical store clients; each holds one
-    connection (client endpoint) into every key register it touches. *)
+    connection (client endpoint) into every key register it touches.
+    [trace_level]/[sample]/[trace_capacity] configure the shared
+    engine's trace (see {!Sbft_sim.Engine.create}); the store's own
+    per-shard metrics are always on — counters and histograms are part
+    of the engine metrics, not the trace. *)
 
 val shard_count : t -> int
 

@@ -1,22 +1,31 @@
 type t = {
   mutable clock : int;
   mutable seq : int;
+  mutable fired : int;
+  mutable daemons : int;
   heap : (unit -> unit) Heap.t;
   master_rng : Rng.t;
   metrics : Metrics.t;
   trace : Trace.t;
+  profile : Profile.t;
 }
 
 exception Budget_exhausted
 
-let create ?(trace = false) ?(trace_capacity = 4096) ~seed () =
+let create ?(trace = false) ?trace_level ?(trace_capacity = 4096) ?sample ?sample_seed ~seed () =
+  let level =
+    match trace_level with Some l -> l | None -> if trace then Trace.On else Trace.Off
+  in
   {
     clock = 0;
     seq = 0;
+    fired = 0;
+    daemons = 0;
     heap = Heap.create ();
     master_rng = Rng.create seed;
     metrics = Metrics.create ();
-    trace = Trace.create ~capacity:trace_capacity ~enabled:trace ();
+    trace = Trace.create ~capacity:trace_capacity ?sample ?sample_seed ~level ();
+    profile = Profile.create ();
   }
 
 let now t = t.clock
@@ -27,21 +36,40 @@ let metrics t = t.metrics
 
 let trace t = t.trace
 
+let profile t = t.profile
+
+let events_fired t = t.fired
+
 let push t ~time f =
   Heap.push t.heap ~time ~seq:t.seq f;
   t.seq <- t.seq + 1
 
-let schedule t ~delay f = push t ~time:(t.clock + max 1 delay) f
+(* Daemon events are observation probes (telemetry, progress) that
+   re-arm themselves while real work remains.  They must not count as
+   pending work, or two probes would each see the other's next poll
+   and keep the engine alive forever — and a probe attached only at
+   record time would change another probe's re-arm decisions, breaking
+   replay. *)
+let schedule ?(daemon = false) t ~delay f =
+  let time = t.clock + max 1 delay in
+  if daemon then begin
+    t.daemons <- t.daemons + 1;
+    push t ~time (fun () ->
+        t.daemons <- t.daemons - 1;
+        f ())
+  end
+  else push t ~time f
 
 let schedule_now t f = push t ~time:t.clock f
 
-let pending t = Heap.size t.heap
+let pending t = Heap.size t.heap - t.daemons
 
 let step t =
   match Heap.pop t.heap with
   | None -> false
   | Some (time, _, f) ->
       if time > t.clock then t.clock <- time;
+      t.fired <- t.fired + 1;
       f ();
       true
 

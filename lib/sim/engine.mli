@@ -9,8 +9,21 @@
 
 type t
 
-val create : ?trace:bool -> ?trace_capacity:int -> seed:int64 -> unit -> t
-(** Fresh engine at virtual time 0. *)
+val create :
+  ?trace:bool ->
+  ?trace_level:Trace.level ->
+  ?trace_capacity:int ->
+  ?sample:float ->
+  ?sample_seed:int64 ->
+  seed:int64 ->
+  unit ->
+  t
+(** Fresh engine at virtual time 0.  [trace] is the legacy boolean
+    toggle (true = {!Trace.On}); [trace_level] overrides it with the
+    full four-level dial, and [sample]/[sample_seed] configure the
+    deterministic sampler used at {!Trace.Sampled} (see {!Trace.create}).
+    None of these affect the simulation itself — a run is a pure
+    function of [(seed, scheduled work)] at every trace level. *)
 
 val now : t -> int
 (** Current virtual time. *)
@@ -23,10 +36,28 @@ val metrics : t -> Metrics.t
 
 val trace : t -> Trace.t
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+val profile : t -> Profile.t
+(** The engine's self-profiler.  Always allocated, disabled by default;
+    {!Profile.enable} arms it.  Disabled it costs one branch per probe,
+    so instrumented subsystems can probe unconditionally. *)
+
+val events_fired : t -> int
+(** Total thunks executed so far.  This is the engine's raw throughput
+    denominator — meaningful even with tracing {!Trace.Off}, when no
+    event list exists to count. *)
+
+val schedule : ?daemon:bool -> t -> delay:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t + max 1 delay].
     Events never fire at the current instant: a positive delay is
-    enforced so causality is strict. *)
+    enforced so causality is strict.
+
+    [daemon] (default false) marks the event as an observation probe:
+    it fires normally but is excluded from {!pending}.  Self-rearming
+    probes (telemetry, progress) must schedule as daemons and re-arm
+    only while [pending > 0] — otherwise two probes each count the
+    other's next poll as work and keep the engine alive forever, and a
+    probe attached only at record time would perturb another probe's
+    re-arm decisions, breaking replay. *)
 
 val schedule_now : t -> (unit -> unit) -> unit
 (** Run [f] at the current time, after all work already queued for this
@@ -34,7 +65,8 @@ val schedule_now : t -> (unit -> unit) -> unit
     processing a completed quorum. *)
 
 val pending : t -> int
-(** Number of events still queued. *)
+(** Events still queued, excluding daemon probes — the amount of real
+    work left. *)
 
 val step : t -> bool
 (** Execute the next event. Returns [false] if the heap was empty. *)

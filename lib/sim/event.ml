@@ -69,6 +69,45 @@ let name = function
   | Server_state _ -> "server_state"
   | Note _ -> "note"
 
+(* Dense constructor indexing for allocation-free per-kind counters
+   (the profiler's event attribution).  Must stay in sync with [kinds]
+   and [name]. *)
+let index = function
+  | Msg_sent _ -> 0
+  | Msg_delivered _ -> 1
+  | Msg_dropped _ -> 2
+  | Retransmit _ -> 3
+  | Ack_roundtrip _ -> 4
+  | Quorum_formed _ -> 5
+  | Label_adopted _ -> 6
+  | Epoch_changed _ -> 7
+  | Fault_injected _ -> 8
+  | Op_started _ -> 9
+  | Op_phase _ -> 10
+  | Op_finished _ -> 11
+  | Violation _ -> 12
+  | Server_state _ -> 13
+  | Note _ -> 14
+
+let kinds =
+  [|
+    "msg_sent";
+    "msg_delivered";
+    "msg_dropped";
+    "retransmit";
+    "ack_roundtrip";
+    "quorum_formed";
+    "label_adopted";
+    "epoch_changed";
+    "fault_injected";
+    "op_started";
+    "op_phase";
+    "op_finished";
+    "violation";
+    "server_state";
+    "note";
+  |]
+
 let to_json ~time ev =
   let base rest = Json.Obj (("t", Json.Int time) :: ("ev", Json.String (name ev)) :: rest) in
   let s v = Json.String v and i v = Json.Int v in

@@ -61,6 +61,13 @@ val name : t -> string
 (** Stable snake_case constructor name, the ["ev"] field of the JSON
     encoding. *)
 
+val index : t -> int
+(** Dense constructor index in [0, Array.length kinds): the
+    allocation-free key for per-kind counters (profiler attribution). *)
+
+val kinds : string array
+(** [kinds.(index ev) = name ev] for every event. *)
+
 val to_json : time:int -> t -> Json.t
 (** One JSONL record: [{"t": time, "ev": name, ...payload}]. *)
 

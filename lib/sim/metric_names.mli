@@ -53,6 +53,29 @@ val read_abort_ticks : string
 
 val dl_ack_rtt_ticks : string
 
+(** {1 Per-shard names}
+
+    Dynamically numbered metrics ([kv.shard.<i>.<field>]) are minted
+    exclusively by {!kv_shard}, keeping the no-literals lint meaningful
+    for templated names: call sites never [Printf] a metric name. *)
+
+val kv_shard_prefix : string
+
+type shard_field =
+  | Shard_puts  (** completed puts on the shard *)
+  | Shard_gets  (** completed (value-returning) gets *)
+  | Shard_aborts  (** gets that aborted *)
+  | Shard_put_ticks  (** put latency histogram, virtual ticks *)
+  | Shard_get_ticks  (** get latency histogram, virtual ticks *)
+
+val shard_fields : shard_field list
+
+val shard_field_name : shard_field -> string
+
+val kv_shard : shard:int -> shard_field -> string
+(** [kv_shard ~shard field] is ["kv.shard.<shard>.<field>"], memoized
+    so repeated lookups allocate nothing. *)
+
 type kind = Counter | Histogram | Prefix
 
 val all : (string * kind * string) list

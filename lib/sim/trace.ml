@@ -1,7 +1,26 @@
+type level = Off | Sampled | On | Forensic
+
+let level_to_string = function
+  | Off -> "off"
+  | Sampled -> "sampled"
+  | On -> "on"
+  | Forensic -> "forensic"
+
+let level_of_string = function
+  | "off" -> Ok Off
+  | "sampled" -> Ok Sampled
+  | "on" | "normal" -> Ok On
+  | "forensic" -> Ok Forensic
+  | other -> Error (Printf.sprintf "unknown trace level %S (off, sampled, on, forensic)" other)
+
+let levels = [ Off; Sampled; On; Forensic ]
+
 type sink = time:int -> Event.t -> unit
 
 type t = {
-  enabled : bool;
+  level : level;
+  sample : float;
+  sampler : Rng.t;
   capacity : int;
   ring : (int * Event.t) array;
   mutable next : int;
@@ -11,9 +30,15 @@ type t = {
 
 let nothing = Event.Note { detail = "" }
 
-let create ?(capacity = 4096) ~enabled () =
+let create ?(capacity = 4096) ?(sample = 0.01) ?(sample_seed = 0x5eedL) ~level () =
   {
-    enabled;
+    level;
+    sample;
+    (* The sampler is private to the trace: drawing from it never
+       perturbs the engine's master PRNG, so the simulation is
+       bit-identical at every level and a sampled stream is a
+       deterministic subsequence of the full one. *)
+    sampler = Rng.create sample_seed;
     capacity = max 1 capacity;
     ring = Array.make (max 1 capacity) (0, nothing);
     next = 0;
@@ -21,24 +46,45 @@ let create ?(capacity = 4096) ~enabled () =
     sinks = [];
   }
 
-let enabled t = t.enabled
+let level t = t.level
+
+let sample_rate t = t.sample
+
+let enabled t = t.level <> Off
+
+let forensic t = t.level = Forensic
 
 let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 
-let emit t ~time ev =
-  if t.enabled then begin
-    t.ring.(t.next) <- (time, ev);
-    t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1;
-    match t.sinks with
-    | [] -> ()
-    | sinks -> List.iter (fun sink -> sink ~time ev) sinks
-  end
+let to_ring t ~time ev =
+  t.ring.(t.next) <- (time, ev);
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1
 
-let log t ~time msg = if t.enabled then emit t ~time (Event.Note { detail = msg })
+let to_sinks t ~time ev =
+  match t.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun sink -> sink ~time ev) sinks
+
+let emit t ~time ev =
+  match t.level with
+  | Off -> ()
+  | On | Forensic ->
+      to_ring t ~time ev;
+      to_sinks t ~time ev
+  | Sampled ->
+      (* The ring always retains the forensic window; only the sinks
+         (JSONL streaming, analysis accumulators) are thinned.  The
+         sampler advances once per emitted event, so whether any given
+         event survives depends only on (sample_seed, emit index). *)
+      to_ring t ~time ev;
+      if Rng.chance t.sampler t.sample then to_sinks t ~time ev
+
+let log t ~time msg =
+  if t.level = Forensic then emit t ~time (Event.Note { detail = msg })
 
 let logf t ~time fmt =
-  if t.enabled then Format.kasprintf (fun s -> log t ~time s) fmt
+  if t.level = Forensic then Format.kasprintf (fun s -> log t ~time s) fmt
   else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
 
 let entries t =

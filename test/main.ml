@@ -8,6 +8,8 @@ let () =
       ("engine", Test_engine.suite);
       ("metrics+trace", Test_metrics.suite);
       ("metric-names", Test_metric_names.suite);
+      ("tracing-levels", Test_tracing_levels.suite);
+      ("slo+profile", Test_slo.suite);
       ("json", Test_json.suite);
       ("observability", Test_observability.suite);
       ("analysis", Test_analysis.suite);

@@ -63,21 +63,25 @@ let note_entries t =
     (Trace.entries t)
 
 let test_trace_disabled_is_noop () =
-  let t = Trace.create ~enabled:false () in
+  let t = Trace.create ~level:Trace.Off () in
   Trace.log t ~time:1 "x";
   Trace.emit t ~time:2 (Event.Note { detail = "y" });
   Alcotest.(check int) "nothing retained" 0 (List.length (Trace.entries t))
 
 let test_trace_retention () =
-  let t = Trace.create ~capacity:4 ~enabled:true () in
+  let t = Trace.create ~capacity:4 ~level:Trace.Forensic () in
   for i = 1 to 3 do
     Trace.log t ~time:i (string_of_int i)
   done;
   Alcotest.(check (list (pair int string)))
-    "oldest first" [ (1, "1"); (2, "2"); (3, "3") ] (note_entries t)
+    "oldest first" [ (1, "1"); (2, "2"); (3, "3") ] (note_entries t);
+  (* Free-form notes are forensic-only: at [On] they cost nothing. *)
+  let on = Trace.create ~level:Trace.On () in
+  Trace.log on ~time:1 "x";
+  Alcotest.(check int) "notes gated below Forensic" 0 (List.length (Trace.entries on))
 
 let test_trace_ring_wrap () =
-  let t = Trace.create ~capacity:3 ~enabled:true () in
+  let t = Trace.create ~capacity:3 ~level:Trace.Forensic () in
   for i = 1 to 10 do
     Trace.log t ~time:i (string_of_int i)
   done;
@@ -87,7 +91,7 @@ let test_trace_ring_wrap () =
     (note_entries t)
 
 let test_trace_window () =
-  let t = Trace.create ~enabled:true () in
+  let t = Trace.create ~level:Trace.Forensic () in
   for i = 1 to 9 do
     Trace.log t ~time:i (string_of_int i)
   done;
@@ -99,11 +103,11 @@ let test_trace_window () =
        (Trace.window t ~from_time:4 ~until:6))
 
 let test_trace_logf_lazy () =
-  let t = Trace.create ~enabled:true () in
+  let t = Trace.create ~level:Trace.Forensic () in
   Trace.logf t ~time:7 "n=%d s=%s" 42 "hi";
   Alcotest.(check (list (pair int string))) "formatted" [ (7, "n=42 s=hi") ] (note_entries t);
   (* When disabled, the formatter must never run — %t's closure is the witness. *)
-  let off = Trace.create ~enabled:false () in
+  let off = Trace.create ~level:Trace.Off () in
   let ran = ref false in
   Trace.logf off ~time:1 "%t" (fun fmt ->
       ran := true;
@@ -111,7 +115,7 @@ let test_trace_logf_lazy () =
   Alcotest.(check bool) "disabled logf builds nothing" false !ran
 
 let test_trace_typed_events () =
-  let t = Trace.create ~enabled:true () in
+  let t = Trace.create ~level:Trace.On () in
   Trace.emit t ~time:3 (Event.Msg_sent { src = 6; dst = 0; kind = "write_req" });
   Trace.emit t ~time:5 (Event.Op_finished { op_id = 9; client = 6; kind = "write"; outcome = "ok"; ticks = 2 });
   (match Trace.entries t with
@@ -157,7 +161,7 @@ let test_event_to_json () =
 let test_jsonl_sink () =
   let path = Filename.temp_file "sbft_trace" ".jsonl" in
   let oc = open_out path in
-  let t = Trace.create ~capacity:2 ~enabled:true () in
+  let t = Trace.create ~capacity:2 ~level:Trace.On () in
   Trace.add_sink t (Trace.jsonl_sink oc);
   Trace.emit t ~time:1 (Event.Op_started { op_id = 0; client = 6; kind = "write" });
   Trace.emit t ~time:4 (Event.Quorum_formed { op_id = 0; client = 6; phase = "ts"; size = 5 });

@@ -166,7 +166,7 @@ let test_artifacts_json () =
         (member [ "regularity"; "checked" ] = Some (Sim.Json.Int 12))
 
 let test_forensics_dump () =
-  let tr = Sim.Trace.create ~enabled:true () in
+  let tr = Sim.Trace.create ~level:Sim.Trace.On () in
   Sim.Trace.emit tr ~time:12 (Sim.Event.Op_started { op_id = 0; client = 6; kind = "write" });
   Sim.Trace.emit tr ~time:14 (Sim.Event.Fault_injected { desc = "corrupt s2" });
   Sim.Trace.emit tr ~time:15 (Sim.Event.Op_started { op_id = 7; client = 9; kind = "write" });
