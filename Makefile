@@ -31,13 +31,20 @@ bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR6.json
 
 # Sample run artifacts (committed reference inputs for sbftreg
-# replay/analyze/diff; also a smoke test of the whole artifact loop:
-# the fresh trace must replay with zero divergence).
+# replay/analyze/diff/spans/trends; also a smoke test of the whole
+# artifact loop: the fresh trace must replay with zero divergence,
+# fully attribute every span, and show zero drift against itself).
+# sample-kv-metrics.json is the trends baseline CI regenerates with
+# identical flags — keep it free of wall-clock members (no --profile).
 artifacts: build
 	dune exec bin/sbftreg.exe -- run --seed 7 --ops 10 \
 	  --trace-out bench/sample-trace.jsonl --metrics-out bench/sample-metrics.json
 	dune exec bin/sbftreg.exe -- replay bench/sample-trace.jsonl
 	dune exec bin/sbftreg.exe -- diff bench/sample-metrics.json bench/sample-metrics.json
+	dune exec bin/sbftreg.exe -- spans bench/sample-trace.jsonl --min-coverage 0.95 > /dev/null
+	dune exec bin/sbftreg.exe -- kv --shards 8 --keys 32 --clients 6 --ops 2000 --seed 9 \
+	  --trace-level off --metrics-out bench/sample-kv-metrics.json
+	dune exec bin/sbftreg.exe -- trends bench/sample-kv-metrics.json bench/sample-kv-metrics.json
 
 clean:
 	dune clean

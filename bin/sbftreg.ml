@@ -4,6 +4,8 @@
      run        simulate a workload and audit it against the spec
      replay     re-execute a recorded trace and diff the event streams
      analyze    reconstruct happened-before from a trace artifact
+     spans      assemble per-operation span trees and critical paths
+     trends     ingest run artifacts and flag cross-run metric drift
      diff       compare two metrics artifacts with tolerances
      experiment run one experiment table (or "all")
      attack     replay the Theorem 1 lower-bound schedule
@@ -24,6 +26,8 @@ module Trace_file = Sbft_analysis.Trace_file
 module Replay = Sbft_analysis.Replay
 module Causality = Sbft_analysis.Causality
 module Corpus = Sbft_analysis.Corpus
+module Spans = Sbft_analysis.Spans
+module Trends = Sbft_analysis.Trends
 
 let outcome_str = function
   | Sbft_spec.History.Value v -> Printf.sprintf "value %d" v
@@ -322,7 +326,14 @@ let run_cmd =
 (* replay *)
 
 let replay_cmd =
-  let go path =
+  let go path progress profile =
+    (* Replay must be byte-comparable with the recording: heartbeats
+       and profiler output would interleave with the diff, and the
+       recorder's run didn't have them either.  Accept the flags (so a
+       copy-pasted run command line works) but suppress them. *)
+    if progress || profile then
+      Printf.eprintf "note: --progress/--profile are suppressed during replay to keep the output \
+                      byte-comparable\n";
     match Trace_file.load path with
     | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -365,7 +376,7 @@ let replay_cmd =
        ~doc:
          "Re-execute the run recorded in a trace artifact's header and report the first event \
           where the fresh execution diverges from the recording (exit 2 on divergence)")
-    Term.(const go $ path)
+    Term.(const go $ path $ progress_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
@@ -441,6 +452,178 @@ let analyze_cmd =
          "Reconstruct the happened-before graph of a trace artifact (program order + message \
           deliveries) and render it as an ASCII space-time diagram and optionally DOT")
     Term.(const go $ path $ focus $ dot_out $ list_ops)
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let spans_cmd =
+  let go path json_out top focus by_shard min_cov =
+    match Trace_file.load path with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok { header; events } ->
+        Option.iter (fun h -> Format.printf "%a@.@." Run_header.pp h) header;
+        let ops = Spans.build events in
+        if ops = [] then begin
+          Printf.eprintf
+            "%s: no spans — record with --trace-level on (or sampled) on a binary that stamps \
+             span ids\n"
+            path;
+          exit 1
+        end;
+        (match focus with
+        | Some sp -> (
+            match List.find_opt (fun (o : Spans.op) -> o.span = sp) ops with
+            | Some o -> Format.printf "%a@." Spans.pp_waterfall o
+            | None ->
+                Printf.eprintf "no span %d in %s\n" sp path;
+                exit 1)
+        | None ->
+            let finished = List.filter (fun (o : Spans.op) -> o.total <> None) ops in
+            Printf.printf "%d spans (%d finished ops)\n\n" (List.length ops)
+              (List.length finished);
+            List.iter
+              (fun r -> Format.printf "%a@." Spans.pp_agg_row r)
+              (Spans.aggregate ~by_shard ops);
+            let slowest =
+              List.sort
+                (fun (a : Spans.op) b -> compare (Option.get b.total) (Option.get a.total))
+                finished
+            in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | x :: r -> x :: take (n - 1) r
+            in
+            List.iter
+              (fun o -> Format.printf "@.%a@." Spans.pp_waterfall o)
+              (take top slowest));
+        Option.iter
+          (fun p ->
+            let oc = open_out_or_die p in
+            output_string oc (Sbft_sim.Json.to_string (Spans.to_json ops));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "\nwrote %s\n" p)
+          json_out;
+        let worst =
+          List.fold_left
+            (fun acc (o : Spans.op) ->
+              if o.total = None then acc else Float.min acc (Spans.coverage o))
+            1.0 ops
+        in
+        if worst < min_cov then begin
+          Printf.eprintf "coverage floor violated: worst op attributes %.1f%% < %.1f%%\n"
+            (worst *. 100.) (min_cov *. 100.);
+          exit 3
+        end
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace artifact.") in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the span trees as JSON to FILE.")
+  in
+  let top =
+    Arg.(value & opt int 1 & info [ "top" ] ~docv:"K" ~doc:"Waterfalls of the K slowest ops.")
+  in
+  let focus =
+    Arg.(value & opt (some int) None
+         & info [ "span" ] ~docv:"ID" ~doc:"Show only the waterfall of span ID.")
+  in
+  let by_shard =
+    Arg.(value & flag & info [ "by-shard" ] ~doc:"Group the aggregate table by kv shard.")
+  in
+  let min_cov =
+    Arg.(value & opt float 0.0
+         & info [ "min-coverage" ] ~docv:"F"
+             ~doc:"Exit 3 if any finished op attributes less than fraction F of its latency.")
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Assemble per-operation span trees from a trace artifact, extract each operation's \
+          critical path (dispatch / network / server service / quorum wait per phase), and print \
+          phase-attributed latency percentiles plus waterfalls of the slowest operations")
+    Term.(const go $ path $ json_out $ top $ focus $ by_shard $ min_cov)
+
+(* ------------------------------------------------------------------ *)
+(* trends *)
+
+let trends_cmd =
+  let go artifacts db tolerance full =
+    let expand p =
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.map (Filename.concat p)
+      else [ p ]
+    in
+    let files = List.concat_map expand artifacts in
+    let runs =
+      List.map
+        (fun p ->
+          match Trends.load_artifact p with
+          | Ok r -> r
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              exit 1)
+        files
+    in
+    let history =
+      match db with
+      | Some db ->
+          List.iter (fun r -> Trends.append ~db r) runs;
+          Trends.load_db db
+      | None -> runs
+    in
+    if full then
+      List.iteri
+        (fun i r ->
+          Printf.printf "run %d: %s (%d metrics)\n" i r.Trends.source
+            (List.length r.Trends.metrics))
+        history;
+    match Trends.latest_drift ~tolerance history with
+    | None ->
+        Printf.printf "%d run(s) on file — need two to compare\n" (List.length history)
+    | Some (prev, cur, drifts) ->
+        Printf.printf "comparing %s -> %s (tolerance %.0f%%)\n" prev.Trends.source
+          cur.Trends.source (tolerance *. 100.);
+        if drifts = [] then
+          Printf.printf "no metric drifted beyond tolerance (%d compared)\n"
+            (List.length
+               (List.filter
+                  (fun (k, _) -> List.mem_assoc k prev.Trends.metrics)
+                  cur.Trends.metrics))
+        else begin
+          List.iter (fun d -> Format.printf "%a@." Trends.pp_drift d) drifts;
+          Printf.eprintf "%d metric(s) drifted beyond %.0f%%\n" (List.length drifts)
+            (tolerance *. 100.);
+          exit 1
+        end
+  in
+  let artifacts =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"ARTIFACT"
+             ~doc:"Metrics/bench JSON artifacts (or directories of .json files), oldest first.")
+  in
+  let db =
+    Arg.(value & opt (some string) None
+         & info [ "db" ] ~docv:"FILE"
+             ~doc:"Append the runs to this JSONL run database and compare its last two entries.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.3
+         & info [ "tolerance" ] ~docv:"T" ~doc:"Relative drift beyond which a metric flags.")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"List every run ingested.") in
+  Cmd.v
+    (Cmd.info "trends"
+       ~doc:
+         "Flatten run artifacts (metrics snapshots, bench reports) into an append-only run \
+          database and compare the latest run against its predecessor, exiting non-zero when any \
+          shared metric drifts beyond the tolerance")
+    Term.(const go $ artifacts $ db $ tolerance $ full)
 
 (* ------------------------------------------------------------------ *)
 (* diff *)
@@ -733,12 +916,20 @@ let storm_cmd =
 
 let kv_cmd =
   let go shards n f seed keys ops clients doom level sample profile progress slo_p99 slo_budget
-      metrics_out =
+      metrics_out trace_out =
     let clients = max 1 clients in
     let kv =
       Sbft_kv.Store.create ~seed ~trace_level:level ~sample ~shards ~n ~f ~clients ()
     in
     let engine = Sbft_kv.Store.engine kv in
+    let trace_oc =
+      Option.map
+        (fun path ->
+          let oc = open_out_or_die path in
+          Sbft_sim.Trace.add_sink (Sbft_sim.Engine.trace engine) (Sbft_sim.Trace.jsonl_sink oc);
+          (path, oc))
+        trace_out
+    in
     let prof = Sbft_sim.Engine.profile engine in
     if profile then begin
       Sbft_sim.Profile.enable prof;
@@ -853,6 +1044,11 @@ let kv_cmd =
         close_out oc;
         Printf.printf "wrote %s\n" path
     | None -> ());
+    (match trace_oc with
+    | Some (path, oc) ->
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
     if violations > 0 || not slo.ok then exit 2
   in
   let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.") in
@@ -885,6 +1081,15 @@ let kv_cmd =
             "Write a JSON metrics snapshot (per-shard counters/histograms with p50/p95/p99, SLO \
              verdicts, optional profile) to FILE.")
   in
+  let kv_trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream the event trace as JSONL to FILE (no run header — kv traces feed $(b,spans) \
+             and $(b,analyze), not $(b,replay)).")
+  in
   Cmd.v
     (Cmd.info "kv"
        ~doc:
@@ -892,7 +1097,8 @@ let kv_cmd =
           (exit 2 on a violation or SLO miss)")
     Term.(
       const go $ shards $ n $ f $ seed $ keys $ ops $ clients $ doom $ trace_level_arg
-      $ sample_arg $ profile_arg $ progress_arg $ slo_p99 $ slo_budget $ metrics_out)
+      $ sample_arg $ profile_arg $ progress_arg $ slo_p99 $ slo_budget $ metrics_out
+      $ kv_trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -1190,6 +1396,8 @@ let () =
             run_cmd;
             replay_cmd;
             analyze_cmd;
+            spans_cmd;
+            trends_cmd;
             diff_cmd;
             experiment_cmd;
             attack_cmd;

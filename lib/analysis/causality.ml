@@ -42,8 +42,8 @@ let build entries =
   Array.iter
     (fun nd ->
       match nd.ev with
-      | Event.Msg_sent { src; dst; kind } -> Queue.push nd.idx (queue (src, dst, kind))
-      | Event.Msg_delivered { src; dst; kind } | Event.Msg_dropped { src; dst; kind; _ } -> (
+      | Event.Msg_sent { src; dst; kind; _ } -> Queue.push nd.idx (queue (src, dst, kind))
+      | Event.Msg_delivered { src; dst; kind; _ } | Event.Msg_dropped { src; dst; kind; _ } -> (
           let q = queue (src, dst, kind) in
           match Queue.take_opt q with
           | Some sender -> edges := { src = sender; dst = nd.idx; kind = Message } :: !edges

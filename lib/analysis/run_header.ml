@@ -20,7 +20,7 @@ type t = {
   fingerprint : string;
 }
 
-let schema_version = 2
+let schema_version = 3
 
 let default_delay_policy = "uniform-10"
 

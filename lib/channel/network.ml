@@ -30,9 +30,15 @@ type 'msg t = {
   down : bool array;
   mutable queued : int;
   transport : transport;
-  links : 'msg Datalink.t option array; (* lazily built per directed channel *)
+  links : (int * 'msg) Datalink.t option array;
+  (* lazily built per directed channel; the payload carries the span id
+     of the send so attribution survives the data-link's own queueing *)
   mutable groups : int array option; (* partition: group id per endpoint *)
-  parked_q : (int * int * 'msg) Queue.t; (* sends withheld by the partition, in order *)
+  mutable span_ctx : int;
+  (* the span id of the operation currently executing: [send] stamps it
+     on outgoing messages, [deliver] installs the incoming message's
+     span around the handler so replies inherit the request's span *)
+  parked_q : (int * int * int * 'msg) Queue.t; (* parked (src, dst, span, msg), in order *)
   mutable observer : (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option;
   node_sent : int array; (* per-endpoint breakdown for the metrics artifact *)
   node_delivered : int array;
@@ -56,6 +62,7 @@ let create engine ~endpoints ?(servers = 0) ~delay ?classify ?(transport = Direc
     transport;
     links = Array.make (endpoints * endpoints) None;
     groups = None;
+    span_ctx = Event.no_span;
     parked_q = Queue.create ();
     observer = None;
     node_sent = Array.make endpoints 0;
@@ -84,6 +91,13 @@ let set_slow_node t id ~factor =
 
 let set_tamper t hook = t.tamper <- hook
 
+let current_span t = t.span_ctx
+
+let with_span t span f =
+  let saved = t.span_ctx in
+  t.span_ctx <- span;
+  Fun.protect ~finally:(fun () -> t.span_ctx <- saved) f
+
 let observe t hook = t.observer <- hook
 
 let notify t event ~src ~dst msg =
@@ -91,17 +105,17 @@ let notify t event ~src ~dst msg =
 
 let kind_of t msg = match t.classify with Some f -> f msg | None -> ""
 
-let drop t ~src ~dst ~kind reason =
+let drop t ~span ~src ~dst ~kind reason =
   Metrics.incr (Engine.metrics t.engine) Names.net_dropped;
   let tr = Engine.trace t.engine in
   if Trace.enabled tr then
-    Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_dropped { src; dst; kind; reason })
+    Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_dropped { src; dst; kind; reason; span })
 
-let deliver t ~src ~dst msg =
+let deliver t ~span ~src ~dst msg =
   let m = Engine.metrics t.engine in
   let tr = Engine.trace t.engine in
   Profile.enter t.profile Profile.Delivery;
-  (if t.down.(dst) then drop t ~src ~dst ~kind:(kind_of t msg) "crashed"
+  (if t.down.(dst) then drop t ~span ~src ~dst ~kind:(kind_of t msg) "crashed"
    else
      let kept = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
      match kept, t.handlers.(dst) with
@@ -110,17 +124,17 @@ let deliver t ~src ~dst msg =
          t.node_delivered.(dst) <- t.node_delivered.(dst) + 1;
          if Trace.enabled tr then
            Trace.emit tr ~time:(Engine.now t.engine)
-             (Event.Msg_delivered { src; dst; kind = kind_of t payload });
+             (Event.Msg_delivered { src; dst; kind = kind_of t payload; span });
          notify t `Deliver ~src ~dst payload;
          Profile.enter t.profile
            (if dst < t.servers then Profile.Server_step else Profile.Client_step);
-         h ~src payload;
+         with_span t span (fun () -> h ~src payload);
          Profile.leave t.profile
-     | None, _ -> drop t ~src ~dst ~kind:(kind_of t msg) "tampered"
-     | Some _, None -> drop t ~src ~dst ~kind:(kind_of t msg) "no_handler");
+     | None, _ -> drop t ~span ~src ~dst ~kind:(kind_of t msg) "tampered"
+     | Some _, None -> drop t ~span ~src ~dst ~kind:(kind_of t msg) "no_handler");
   Profile.leave t.profile
 
-let enqueue t ~src ~dst ~delay_ticks msg =
+let enqueue t ~span ~src ~dst ~delay_ticks msg =
   let c = chan t ~src ~dst in
   let now = Engine.now t.engine in
   let at = max (now + max 1 delay_ticks) (t.last_delivery.(c) + 1) in
@@ -128,7 +142,7 @@ let enqueue t ~src ~dst ~delay_ticks msg =
   t.queued <- t.queued + 1;
   Engine.schedule t.engine ~delay:(at - now) (fun () ->
       t.queued <- t.queued - 1;
-      deliver t ~src ~dst msg)
+      deliver t ~span ~src ~dst msg)
 
 let link t ~src ~dst ~capacity ~loss ~max_delay =
   let c = chan t ~src ~dst in
@@ -137,7 +151,7 @@ let link t ~src ~dst ~capacity ~loss ~max_delay =
   | None ->
       let l =
         Datalink.create t.engine ~capacity ~loss ~max_delay
-          ~deliver:(fun msg -> deliver t ~src ~dst msg)
+          ~deliver:(fun (span, msg) -> deliver t ~span ~src ~dst msg)
           ()
       in
       t.links.(c) <- Some l;
@@ -148,18 +162,19 @@ let partitioned t ~src ~dst =
   | None -> false
   | Some g -> g.(src) <> g.(dst) || g.(src) < 0 || g.(dst) < 0
 
-let transmit_now t ~src ~dst msg =
+let transmit_now t ~span ~src ~dst msg =
   match t.transport with
   | Direct ->
       let d = t.delay t.rng ~src ~dst * t.slow.(chan t ~src ~dst) in
-      enqueue t ~src ~dst ~delay_ticks:d msg
+      enqueue t ~span ~src ~dst ~delay_ticks:d msg
   | Over_datalink { capacity; loss; max_delay } ->
       let max_delay = max_delay * t.slow.(chan t ~src ~dst) in
-      Datalink.send (link t ~src ~dst ~capacity ~loss ~max_delay) msg
+      Datalink.send (link t ~src ~dst ~capacity ~loss ~max_delay) (span, msg)
 
 let send t ~src ~dst msg =
   if not t.down.(src) then begin
     Profile.enter t.profile Profile.Delivery;
+    let span = t.span_ctx in
     let m = Engine.metrics t.engine in
     Metrics.incr m Names.net_sent;
     t.node_sent.(src) <- t.node_sent.(src) + 1;
@@ -168,13 +183,14 @@ let send t ~src ~dst msg =
     | None -> ());
     let tr = Engine.trace t.engine in
     if Trace.enabled tr then
-      Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_sent { src; dst; kind = kind_of t msg });
+      Trace.emit tr ~time:(Engine.now t.engine)
+        (Event.Msg_sent { src; dst; kind = kind_of t msg; span });
     notify t `Send ~src ~dst msg;
     (if partitioned t ~src ~dst then begin
        Metrics.incr m Names.net_parked;
-       Queue.push (src, dst, msg) t.parked_q
+       Queue.push (src, dst, span, msg) t.parked_q
      end
-     else transmit_now t ~src ~dst msg);
+     else transmit_now t ~span ~src ~dst msg);
     Profile.leave t.profile
   end
 
@@ -187,7 +203,7 @@ let partition t ~groups =
 let heal t =
   t.groups <- None;
   (* Release parked traffic in order; enqueue keeps per-channel FIFO. *)
-  Queue.iter (fun (src, dst, msg) -> transmit_now t ~src ~dst msg) t.parked_q;
+  Queue.iter (fun (src, dst, span, msg) -> transmit_now t ~span ~src ~dst msg) t.parked_q;
   Queue.clear t.parked_q
 
 let parked t = Queue.length t.parked_q
@@ -196,7 +212,7 @@ let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
 
 let inject t ~src ~dst msg =
   Metrics.incr (Engine.metrics t.engine) Names.net_injected;
-  enqueue t ~src ~dst ~delay_ticks:1 msg
+  enqueue t ~span:Event.no_span ~src ~dst ~delay_ticks:1 msg
 
 let in_flight t = t.queued
 

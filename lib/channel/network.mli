@@ -118,3 +118,17 @@ val observe : 'msg t -> (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'ms
 (** Install a wiretap called on every send and every delivery (after
     tamper).  Used by the sequence-diagram renderer and flow analyses;
     [None] uninstalls.  The observer must not send messages. *)
+
+val current_span : 'msg t -> int
+(** The span id of the operation currently executing, or
+    {!Sbft_sim.Event.no_span} outside any span.  Sends inside a span
+    stamp it on their [Msg_sent] event and carry it to the receiver,
+    where it is reinstalled around the delivery handler — so replies
+    (and forwards) inherit the span of the request that caused them
+    without any protocol-level plumbing. *)
+
+val with_span : 'msg t -> int -> (unit -> 'a) -> 'a
+(** [with_span t span f] runs [f] with [span] installed as the current
+    span context, restoring the previous context afterwards (even on
+    exceptions).  Clients wrap the broadcast that initiates each
+    operation phase; everything downstream inherits automatically. *)

@@ -29,14 +29,16 @@ type read_phase =
   | R_read of { k : read_outcome -> unit; label : int }
 
 (* One live span per operation: [op] is the history operation id when
-   the caller (System) provides one, [t0] the invocation instant, [ph]
-   the start of the current phase. *)
-type span = { op : int; t0 : int; mutable ph : int }
+   the caller (System) provides one, [sid] the run-global span id
+   stamped on every trace event and message of the operation, [t0] the
+   invocation instant, [ph] the start of the current phase. *)
+type span = { op : int; sid : int; t0 : int; mutable ph : int }
 
 type t = {
   cfg : Config.t;
   sys : Sbls.system;
   net : Msg.t Network.t;
+  tr : Trace.t; (* cached so the hot path can skip event construction *)
   id : int;
   mutable wphase : write_phase;
   mutable rphase : read_phase;
@@ -72,41 +74,53 @@ let now t = Engine.now (engine t)
 
 let metrics t = Engine.metrics (engine t)
 
-let emit t ev =
-  let tr = Engine.trace (engine t) in
-  if Trace.enabled tr then Trace.emit tr ~time:(now t) ev
+(* [tracing] guards the *construction* of the event payload at every
+   call site, not just its sinking: with the trace dial Off, the kv
+   put/get hot path allocates no event records at all. *)
+let tracing t = Trace.enabled t.tr
+
+let emit t ev = Trace.emit t.tr ~time:(now t) ev
 
 let fresh_span t ~op_id =
+  let sid = Engine.fresh_span (engine t) in
   match op_id with
   | Some op ->
       let at = now t in
-      { op; t0 = at; ph = at }
+      { op; sid; t0 = at; ph = at }
   | None ->
       (* Negative ids keep direct-driven clients (no history) distinct
          from history operation ids, which start at 0. *)
       t.op_seq <- t.op_seq + 1;
       let at = now t in
-      { op = -((t.id * 1_000_000) + t.op_seq); t0 = at; ph = at }
+      { op = -((t.id * 1_000_000) + t.op_seq); sid; t0 = at; ph = at }
 
 let phase_done t span ~hist ~phase =
   let at = now t in
   let ticks = at - span.ph in
   Metrics.record (metrics t) hist (float_of_int ticks);
-  emit t (Event.Op_phase { op_id = span.op; client = t.id; phase; ticks });
+  if tracing t then
+    emit t (Event.Op_phase { op_id = span.op; client = t.id; phase; ticks; span = span.sid });
   span.ph <- at;
   ticks
 
 (* ------------------------------------------------------------------ *)
 (* Writer (Figure 1a).                                                 *)
 
-let write ?op_id t ~value k =
+let write ?op_id ?span_k t ~value k =
   if t.wphase <> W_idle then invalid_arg "Client.write: write already in progress";
   let got = Hashtbl.create (t.cfg.n * 2) in
   let span = fresh_span t ~op_id in
   t.wspan <- Some span;
-  emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "write" });
+  (match span_k with Some f -> f span.sid | None -> ());
+  if tracing t then
+    emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "write"; span = span.sid });
   t.wphase <- W_collect { value; k; got };
-  List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t)
+  Network.with_span t.net span.sid (fun () ->
+      List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t))
+
+let wspan_id t = match t.wspan with Some s -> s.sid | None -> Event.no_span
+
+let rspan_id t = match t.rspan with Some s -> s.sid | None -> Event.no_span
 
 let on_ts_reply t ~src ts =
   match t.wphase with
@@ -115,18 +129,26 @@ let on_ts_reply t ~src ts =
       if Hashtbl.length got >= Config.quorum t.cfg then begin
         (match t.wspan with
         | Some span ->
-            emit t
-              (Event.Quorum_formed
-                 { op_id = span.op; client = t.id; phase = "ts"; size = Hashtbl.length got });
+            if tracing t then
+              emit t
+                (Event.Quorum_formed
+                   {
+                     op_id = span.op;
+                     client = t.id;
+                     phase = "ts";
+                     size = Hashtbl.length got;
+                     span = span.sid;
+                   });
             ignore (phase_done t span ~hist:Names.write_collect_ticks ~phase:"collect")
         | None -> ());
         let collected = Hashtbl.fold (fun _ ts acc -> ts :: acc) got [] in
         let wts = Mw_ts.next t.sys ~writer:t.id collected in
         t.wphase <-
           W_commit { value; k; ts = wts; acks = Hashtbl.create 8; nacks = Hashtbl.create 8 };
-        List.iter
-          (fun s -> Network.send t.net ~src:t.id ~dst:s (Msg.Write_req { value; ts = wts }))
-          (servers t)
+        Network.with_span t.net (wspan_id t) (fun () ->
+            List.iter
+              (fun s -> Network.send t.net ~src:t.id ~dst:s (Msg.Write_req { value; ts = wts }))
+              (servers t))
       end
   | _ -> ()
 
@@ -135,12 +157,15 @@ let restart_write t ~value ~k =
   (match t.wspan with
   | Some span ->
       let at = now t in
-      emit t
-        (Event.Op_phase { op_id = span.op; client = t.id; phase = "retry"; ticks = at - span.ph });
+      if tracing t then
+        emit t
+          (Event.Op_phase
+             { op_id = span.op; client = t.id; phase = "retry"; ticks = at - span.ph; span = span.sid });
       span.ph <- at
   | None -> ());
   t.wphase <- W_collect { value; k; got = Hashtbl.create (t.cfg.n * 2) };
-  List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t)
+  Network.with_span t.net (wspan_id t) (fun () ->
+      List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s Msg.Get_ts) (servers t))
 
 let on_write_ack t ~src ~ts ~ack =
   match t.wphase with
@@ -151,15 +176,24 @@ let on_write_ack t ~src ~ts ~ack =
         if n_acks >= Config.witness_threshold t.cfg then begin
           (match t.wspan with
           | Some span ->
-              emit t
-                (Event.Quorum_formed
-                   { op_id = span.op; client = t.id; phase = "ack"; size = n_acks });
+              if tracing t then
+                emit t
+                  (Event.Quorum_formed
+                     { op_id = span.op; client = t.id; phase = "ack"; size = n_acks; span = span.sid });
               ignore (phase_done t span ~hist:Names.write_commit_ticks ~phase:"commit");
               let total = now t - span.t0 in
               Metrics.record (metrics t) Names.write_total_ticks (float_of_int total);
-              emit t
-                (Event.Op_finished
-                   { op_id = span.op; client = t.id; kind = "write"; outcome = "ok"; ticks = total });
+              if tracing t then
+                emit t
+                  (Event.Op_finished
+                     {
+                       op_id = span.op;
+                       client = t.id;
+                       kind = "write";
+                       outcome = "ok";
+                       ticks = total;
+                       span = span.sid;
+                     });
               t.wspan <- None
           | None -> ());
           t.wphase <- W_idle;
@@ -189,12 +223,15 @@ let start_reading t ~k ~label =
   (match t.rspan with
   | Some span ->
       let safe_count = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 t.safe in
-      emit t
-        (Event.Quorum_formed { op_id = span.op; client = t.id; phase = "flush"; size = safe_count });
+      if tracing t then
+        emit t
+          (Event.Quorum_formed
+             { op_id = span.op; client = t.id; phase = "flush"; size = safe_count; span = span.sid });
       ignore (phase_done t span ~hist:Names.read_flush_ticks ~phase:"flush")
   | None -> ());
   t.rphase <- R_read { k; label };
-  List.iteri (fun s safe -> if safe then send_read t ~label s) (Array.to_list t.safe)
+  Network.with_span t.net (rspan_id t) (fun () ->
+      List.iteri (fun s safe -> if safe then send_read t ~label s) (Array.to_list t.safe))
 
 let check_flush_done t =
   match t.rphase with
@@ -202,23 +239,28 @@ let check_flush_done t =
       if Read_labels.pending_count t.rl ~label <= t.cfg.f then start_reading t ~k ~label
   | _ -> ()
 
-let read ?op_id t k =
+let read ?op_id ?span_k t k =
   if t.rphase <> R_idle then invalid_arg "Client.read: read already in progress";
   Hashtbl.reset t.replies;
   Hashtbl.reset t.recent;
   Array.fill t.safe 0 (Array.length t.safe) false;
   let span = fresh_span t ~op_id in
   t.rspan <- Some span;
-  emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "read" });
+  (match span_k with Some f -> f span.sid | None -> ());
+  if tracing t then
+    emit t (Event.Op_started { op_id = span.op; client = t.id; kind = "read"; span = span.sid });
   let label = Read_labels.choose t.rl in
-  emit t (Event.Epoch_changed { node = t.id; epoch = label; what = "read_label" });
+  if tracing t then
+    emit t (Event.Epoch_changed { node = t.id; epoch = label; what = "read_label" });
   t.rphase <- R_flush { k; label };
-  List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s (Msg.Flush { label })) (servers t);
-  check_flush_done t
+  Network.with_span t.net span.sid (fun () ->
+      List.iter (fun s -> Network.send t.net ~src:t.id ~dst:s (Msg.Flush { label })) (servers t);
+      check_flush_done t)
 
 let finish_read t ~k ~label outcome =
   t.rphase <- R_idle;
   (match outcome with Sbft_spec.History.Abort -> t.aborted <- t.aborted + 1 | _ -> ());
+  let sid = rspan_id t in
   (match t.rspan with
   | Some span ->
       ignore (phase_done t span ~hist:Names.read_decide_ticks ~phase:"decide");
@@ -230,15 +272,24 @@ let finish_read t ~k ~label outcome =
         | Sbft_spec.History.Incomplete -> ("incomplete", Names.read_abort_ticks)
       in
       Metrics.record (metrics t) total_hist (float_of_int total);
-      emit t
-        (Event.Op_finished
-           { op_id = span.op; client = t.id; kind = "read"; outcome = outcome_str; ticks = total });
+      if tracing t then
+        emit t
+          (Event.Op_finished
+             {
+               op_id = span.op;
+               client = t.id;
+               kind = "read";
+               outcome = outcome_str;
+               ticks = total;
+               span = span.sid;
+             });
       t.rspan <- None
   | None -> ());
-  Array.iteri
-    (fun s safe ->
-      if safe then Network.send t.net ~src:t.id ~dst:s (Msg.Complete_read { label }))
-    t.safe;
+  Network.with_span t.net sid (fun () ->
+      Array.iteri
+        (fun s safe ->
+          if safe then Network.send t.net ~src:t.id ~dst:s (Msg.Complete_read { label }))
+        t.safe);
   k outcome
 
 let local_witnesses t =
@@ -334,6 +385,7 @@ let create cfg sys net ~id =
       cfg;
       sys;
       net;
+      tr = Engine.trace (Network.engine net);
       id;
       wphase = W_idle;
       rphase = R_idle;

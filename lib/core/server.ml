@@ -16,7 +16,7 @@ type t = {
   mutable value : int;
   mutable ts : Msg.ts;
   mutable old_vals : Msg.hist_entry list; (* newest first, <= history_depth *)
-  running_read : (int, int) Hashtbl.t; (* client -> label *)
+  running_read : (int, int * int) Hashtbl.t; (* client -> (label, reader's span) *)
   mutable writes_applied : int;
 }
 
@@ -28,7 +28,7 @@ let ts t = t.ts
 
 let old_vals t = t.old_vals
 
-let running_readers t = Hashtbl.fold (fun c l acc -> (c, l) :: acc) t.running_read []
+let running_readers t = Hashtbl.fold (fun c (l, _) acc -> (c, l) :: acc) t.running_read []
 
 let holds t ~value ~ts =
   (t.value = value && Mw_ts.equal t.ts ts)
@@ -42,9 +42,14 @@ let truncate depth l =
   let rec go n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: go (n - 1) r in
   go depth l
 
-let reply_to_reader t ~client ~label =
-  Network.send t.net ~src:t.id ~dst:client
-    (Msg.Reply { value = t.value; ts = t.ts; old = t.old_vals; label })
+(* [span] is the reader's span: a reply pushed by a {e write}
+   (forward_to_readers) must bill itself to the read it serves, not to
+   the write that triggered it, so the stored span overrides whatever
+   operation is executing. *)
+let reply_to_reader t ~client ~label ~span =
+  Network.with_span t.net span (fun () ->
+      Network.send t.net ~src:t.id ~dst:client
+        (Msg.Reply { value = t.value; ts = t.ts; old = t.old_vals; label }))
 
 let handle t ~src msg =
   match (msg : Msg.t) with
@@ -66,10 +71,13 @@ let handle t ~src msg =
           (Event.Label_adopted { server = t.id; writer = src; ack });
       Network.send t.net ~src:t.id ~dst:src (Msg.Write_ack { ts; ack });
       if t.cfg.forward_to_readers then
-        Hashtbl.iter (fun client label -> reply_to_reader t ~client ~label) t.running_read
+        Hashtbl.iter
+          (fun client (label, span) -> reply_to_reader t ~client ~label ~span)
+          t.running_read
   | Read_req { label } ->
-      Hashtbl.replace t.running_read src label;
-      reply_to_reader t ~client:src ~label
+      let span = Network.current_span t.net in
+      Hashtbl.replace t.running_read src (label, span);
+      reply_to_reader t ~client:src ~label ~span
   | Complete_read _ -> Hashtbl.remove t.running_read src
   | Flush { label } -> Network.send t.net ~src:t.id ~dst:src (Msg.Flush_ack { label })
   | Ts_reply _ | Write_ack _ | Reply _ | Flush_ack _ ->
@@ -97,7 +105,7 @@ let corrupt t rng ~severity =
       for _ = 1 to extra do
         Hashtbl.replace t.running_read
           (Rng.int rng (Config.endpoints t.cfg))
-          (Rng.int_in rng (-1) (t.cfg.read_label_pool + 1))
+          (Rng.int_in rng (-1) (t.cfg.read_label_pool + 1), Event.no_span)
       done
 
 let create cfg sys net ~id =

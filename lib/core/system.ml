@@ -55,17 +55,17 @@ let history t = t.history
 
 let rng t = t.fault_rng
 
-let write t ~client:cid ~value ?(k = fun () -> ()) () =
+let write t ~client:cid ~value ?span_k ?(k = fun () -> ()) () =
   let c = client t cid in
   let op = History.begin_write t.history ~client:cid ~value ~time:(Engine.now t.engine) in
-  Client.write ~op_id:op c ~value (fun () ->
+  Client.write ~op_id:op ?span_k c ~value (fun () ->
       History.end_write t.history ~id:op ~time:(Engine.now t.engine) ~ts:(Client.last_write_ts c);
       k ())
 
-let read t ~client:cid ?(k = fun _ -> ()) () =
+let read t ~client:cid ?span_k ?(k = fun _ -> ()) () =
   let c = client t cid in
   let op = History.begin_read t.history ~client:cid ~time:(Engine.now t.engine) in
-  Client.read ~op_id:op c (fun outcome ->
+  Client.read ~op_id:op ?span_k c (fun outcome ->
       History.end_read t.history ~id:op ~time:(Engine.now t.engine) ~outcome;
       k outcome)
 

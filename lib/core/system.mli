@@ -54,11 +54,15 @@ val history : t -> Msg.ts Sbft_spec.History.t
 
 (** {1 Operations} *)
 
-val write : t -> client:int -> value:int -> ?k:(unit -> unit) -> unit -> unit
+val write :
+  t -> client:int -> value:int -> ?span_k:(int -> unit) -> ?k:(unit -> unit) -> unit -> unit
 (** Start a write by client endpoint [client]; recorded in the
-    history. [k] fires after the write completes. *)
+    history. [k] fires after the write completes.  [span_k] receives
+    the operation's run-global span id at invocation (see
+    {!Client.write}). *)
 
-val read : t -> client:int -> ?k:(Client.read_outcome -> unit) -> unit -> unit
+val read :
+  t -> client:int -> ?span_k:(int -> unit) -> ?k:(Client.read_outcome -> unit) -> unit -> unit
 
 val run : ?until:int -> ?max_events:int -> t -> unit
 (** Drive the engine (see {!Sbft_sim.Engine.run}). *)

@@ -78,6 +78,24 @@ let dump_violation ?(name = default_name) fmt ~trace ~history (v : Regularity.vi
             String.split_on_char '\n' (Sbft_analysis.Causality.ascii ~name cone)
             |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "    %s@," line)
           end
+        end;
+        (* where the implicated ops spent their time: the span
+           assembler rebuilds each op's critical path from the window,
+           so a violation report answers "was the stale read racing a
+           slow commit?" without a separate spans invocation *)
+        let spans_in_window =
+          List.filter
+            (fun (o : Sbft_analysis.Spans.op) -> List.mem o.op_id implicated)
+            (Sbft_analysis.Spans.build window)
+        in
+        if spans_in_window <> [] then begin
+          Format.fprintf fmt "  critical paths of implicated operations:@,";
+          List.iter
+            (fun o ->
+              String.split_on_char '\n'
+                (Format.asprintf "%a" Sbft_analysis.Spans.pp_waterfall o)
+              |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "    %s@," line))
+            spans_in_window
         end
       end
       else Format.fprintf fmt "    (trace was disabled; re-run with tracing for the event log)@,");

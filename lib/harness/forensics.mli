@@ -19,7 +19,11 @@
       faults) that fired inside it;
     - the violating read's causal cone through the window, rendered as
       an ASCII space-time diagram ({!Sbft_analysis.Causality}) —
-      message-level happened-before, not just operation-level.
+      message-level happened-before, not just operation-level;
+    - the critical path of each implicated operation
+      ({!Sbft_analysis.Spans}), so the report also answers {e where the
+      time went} — was the stale read racing a still-uncommitted write,
+      or stalled on a slow quorum?
 
     [name] renders endpoint ids in the diagram (default [n<i>]). *)
 

@@ -1,5 +1,7 @@
 module Engine = Sbft_sim.Engine
 module Metrics = Sbft_sim.Metrics
+module Trace = Sbft_sim.Trace
+module Event = Sbft_sim.Event
 module Names = Sbft_sim.Metric_names
 module System = Sbft_core.System
 module Config = Sbft_core.Config
@@ -83,12 +85,20 @@ let endpoint t client =
    metrics artifact carries per-shard p50/p95/p99 without any extra
    plumbing.  Names come from the templated [Names.kv_shard] helper. *)
 
+(* The store is the only layer that knows an operation's shard, so it
+   tags the span at invocation; [Spans] then groups ops by shard. *)
+let tag_shard t ~shard sid =
+  let tr = Engine.trace t.engine in
+  if Trace.enabled tr then
+    Trace.emit tr ~time:(Engine.now t.engine) (Event.Span_tag { span = sid; tag = "shard"; v = shard })
+
 let put t ~client ~key ~value ?(k = fun () -> ()) () =
   t.ops <- t.ops + 1;
   let shard = shard_of_key t key in
   let m = Engine.metrics t.engine in
   let started = Engine.now t.engine in
   System.write (system_for t key) ~client:(endpoint t client) ~value
+    ~span_k:(fun sid -> tag_shard t ~shard sid)
     ~k:(fun () ->
       Metrics.incr m (Names.kv_shard ~shard Names.Shard_puts);
       Metrics.record m
@@ -103,6 +113,7 @@ let get t ~client ~key ?(k = fun _ -> ()) () =
   let m = Engine.metrics t.engine in
   let started = Engine.now t.engine in
   System.read (system_for t key) ~client:(endpoint t client)
+    ~span_k:(fun sid -> tag_shard t ~shard sid)
     ~k:(fun outcome ->
       (match outcome with
       | History.Value _ ->

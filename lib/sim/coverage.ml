@@ -73,6 +73,7 @@ let key_of_event (ev : Event.t) =
          universe (mod a fixed fan-out) x history depth x reader load *)
       (Lazy.force occ_keys).(((sting land 7) * 36) + (bucket hist_len * 6) + bucket readers)
   | Event.Note _ -> "note"
+  | Event.Span_tag { tag; _ } -> intern1 "tag:" tag
 
 let bigrams = Hashtbl.create 1024 (* (prev, key) -> "prev>key" *)
 

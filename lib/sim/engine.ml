@@ -3,6 +3,7 @@ type t = {
   mutable seq : int;
   mutable fired : int;
   mutable daemons : int;
+  mutable spans : int;
   heap : (unit -> unit) Heap.t;
   master_rng : Rng.t;
   metrics : Metrics.t;
@@ -21,6 +22,7 @@ let create ?(trace = false) ?trace_level ?(trace_capacity = 4096) ?sample ?sampl
     seq = 0;
     fired = 0;
     daemons = 0;
+    spans = 0;
     heap = Heap.create ();
     master_rng = Rng.create seed;
     metrics = Metrics.create ();
@@ -39,6 +41,16 @@ let trace t = t.trace
 let profile t = t.profile
 
 let events_fired t = t.fired
+
+(* Span ids come from a plain counter, never the RNG: allocation order
+   is the simulation's own event order, so ids are identical across
+   replays and across trace levels. *)
+let fresh_span t =
+  let s = t.spans in
+  t.spans <- s + 1;
+  s
+
+let spans_allocated t = t.spans
 
 let push t ~time f =
   Heap.push t.heap ~time ~seq:t.seq f;

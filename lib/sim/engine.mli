@@ -46,6 +46,17 @@ val events_fired : t -> int
     denominator — meaningful even with tracing {!Trace.Off}, when no
     event list exists to count. *)
 
+val fresh_span : t -> int
+(** Allocate a run-unique span id (a dense counter from 0).  Spans name
+    one client operation across every layer: the id is stamped into the
+    operation's trace events and carried by its messages, so the span
+    assembler ({!Sbft_analysis}) can rebuild the op's tree post-hoc.
+    Allocation draws no randomness and is identical at every trace
+    level, so it never perturbs replay determinism. *)
+
+val spans_allocated : t -> int
+(** Number of span ids handed out so far. *)
+
 val schedule : ?daemon:bool -> t -> delay:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t + max 1 delay].
     Events never fire at the current instant: a positive delay is

@@ -1,19 +1,29 @@
 type t =
-  | Msg_sent of { src : int; dst : int; kind : string }
-  | Msg_delivered of { src : int; dst : int; kind : string }
-  | Msg_dropped of { src : int; dst : int; kind : string; reason : string }
+  | Msg_sent of { src : int; dst : int; kind : string; span : int }
+  | Msg_delivered of { src : int; dst : int; kind : string; span : int }
+  | Msg_dropped of { src : int; dst : int; kind : string; reason : string; span : int }
   | Retransmit of { label : int }
   | Ack_roundtrip of { label : int; ticks : int }
-  | Quorum_formed of { op_id : int; client : int; phase : string; size : int }
+  | Quorum_formed of { op_id : int; client : int; phase : string; size : int; span : int }
   | Label_adopted of { server : int; writer : int; ack : bool }
   | Epoch_changed of { node : int; epoch : int; what : string }
   | Fault_injected of { desc : string }
-  | Op_started of { op_id : int; client : int; kind : string }
-  | Op_phase of { op_id : int; client : int; phase : string; ticks : int }
-  | Op_finished of { op_id : int; client : int; kind : string; outcome : string; ticks : int }
+  | Op_started of { op_id : int; client : int; kind : string; span : int }
+  | Op_phase of { op_id : int; client : int; phase : string; ticks : int; span : int }
+  | Op_finished of {
+      op_id : int;
+      client : int;
+      kind : string;
+      outcome : string;
+      ticks : int;
+      span : int;
+    }
   | Violation of { op_id : int; kind : string; detail : string }
   | Server_state of { server : int; value : int; ts : string; sting : int; hist_len : int; readers : int }
   | Note of { detail : string }
+  | Span_tag of { span : int; tag : string; v : int }
+
+let no_span = -1
 
 let op_id = function
   | Quorum_formed { op_id; _ }
@@ -23,8 +33,22 @@ let op_id = function
   | Violation { op_id; _ } ->
       Some op_id
   | Msg_sent _ | Msg_delivered _ | Msg_dropped _ | Retransmit _ | Ack_roundtrip _
-  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Server_state _ | Note _ ->
+  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Server_state _ | Note _ | Span_tag _ ->
       None
+
+let span = function
+  | Msg_sent { span; _ }
+  | Msg_delivered { span; _ }
+  | Msg_dropped { span; _ }
+  | Quorum_formed { span; _ }
+  | Op_started { span; _ }
+  | Op_phase { span; _ }
+  | Op_finished { span; _ }
+  | Span_tag { span; _ } ->
+      span
+  | Retransmit _ | Ack_roundtrip _ | Label_adopted _ | Epoch_changed _ | Fault_injected _
+  | Violation _ | Server_state _ | Note _ ->
+      no_span
 
 let endpoints = function
   | Msg_sent { src; dst; _ } | Msg_delivered { src; dst; _ } | Msg_dropped { src; dst; _ } ->
@@ -37,7 +61,7 @@ let endpoints = function
   | Label_adopted { server; writer; _ } -> [ server; writer ]
   | Epoch_changed { node; _ } -> [ node ]
   | Server_state { server; _ } -> [ server ]
-  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ -> []
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _ -> []
 
 let location = function
   | Msg_sent { src; _ } -> Some src
@@ -50,7 +74,7 @@ let location = function
   | Label_adopted { server; _ } -> Some server
   | Epoch_changed { node; _ } -> Some node
   | Server_state { server; _ } -> Some server
-  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ -> None
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _ -> None
 
 let name = function
   | Msg_sent _ -> "msg_sent"
@@ -68,6 +92,7 @@ let name = function
   | Violation _ -> "violation"
   | Server_state _ -> "server_state"
   | Note _ -> "note"
+  | Span_tag _ -> "span_tag"
 
 (* Dense constructor indexing for allocation-free per-kind counters
    (the profiler's event attribution).  Must stay in sync with [kinds]
@@ -88,6 +113,7 @@ let index = function
   | Violation _ -> 12
   | Server_state _ -> 13
   | Note _ -> 14
+  | Span_tag _ -> 15
 
 let kinds =
   [|
@@ -106,38 +132,48 @@ let kinds =
     "violation";
     "server_state";
     "note";
+    "span_tag";
   |]
 
 let to_json ~time ev =
   let base rest = Json.Obj (("t", Json.Int time) :: ("ev", Json.String (name ev)) :: rest) in
   let s v = Json.String v and i v = Json.Int v in
+  (* [span] is omitted when unattributed, so span-free events keep
+     their pre-span encoding byte for byte. *)
+  let sp span rest = if span = no_span then rest else ("span", Json.Int span) :: rest in
   match ev with
-  | Msg_sent { src; dst; kind } -> base [ ("src", i src); ("dst", i dst); ("kind", s kind) ]
-  | Msg_delivered { src; dst; kind } -> base [ ("src", i src); ("dst", i dst); ("kind", s kind) ]
-  | Msg_dropped { src; dst; kind; reason } ->
-      base [ ("src", i src); ("dst", i dst); ("kind", s kind); ("reason", s reason) ]
+  | Msg_sent { src; dst; kind; span } ->
+      base (sp span [ ("src", i src); ("dst", i dst); ("kind", s kind) ])
+  | Msg_delivered { src; dst; kind; span } ->
+      base (sp span [ ("src", i src); ("dst", i dst); ("kind", s kind) ])
+  | Msg_dropped { src; dst; kind; reason; span } ->
+      base (sp span [ ("src", i src); ("dst", i dst); ("kind", s kind); ("reason", s reason) ])
   | Retransmit { label } -> base [ ("label", i label) ]
   | Ack_roundtrip { label; ticks } -> base [ ("label", i label); ("ticks", i ticks) ]
-  | Quorum_formed { op_id; client; phase; size } ->
-      base [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("size", i size) ]
+  | Quorum_formed { op_id; client; phase; size; span } ->
+      base
+        (sp span [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("size", i size) ])
   | Label_adopted { server; writer; ack } ->
       base [ ("server", i server); ("writer", i writer); ("ack", Json.Bool ack) ]
   | Epoch_changed { node; epoch; what } ->
       base [ ("node", i node); ("epoch", i epoch); ("what", s what) ]
   | Fault_injected { desc } -> base [ ("desc", s desc) ]
-  | Op_started { op_id; client; kind } ->
-      base [ ("op_id", i op_id); ("client", i client); ("kind", s kind) ]
-  | Op_phase { op_id; client; phase; ticks } ->
-      base [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("ticks", i ticks) ]
-  | Op_finished { op_id; client; kind; outcome; ticks } ->
+  | Op_started { op_id; client; kind; span } ->
+      base (sp span [ ("op_id", i op_id); ("client", i client); ("kind", s kind) ])
+  | Op_phase { op_id; client; phase; ticks; span } ->
       base
-        [
-          ("op_id", i op_id);
-          ("client", i client);
-          ("kind", s kind);
-          ("outcome", s outcome);
-          ("ticks", i ticks);
-        ]
+        (sp span
+           [ ("op_id", i op_id); ("client", i client); ("phase", s phase); ("ticks", i ticks) ])
+  | Op_finished { op_id; client; kind; outcome; ticks; span } ->
+      base
+        (sp span
+           [
+             ("op_id", i op_id);
+             ("client", i client);
+             ("kind", s kind);
+             ("outcome", s outcome);
+             ("ticks", i ticks);
+           ])
   | Violation { op_id; kind; detail } ->
       base [ ("op_id", i op_id); ("kind", s kind); ("detail", s detail) ]
   | Server_state { server; value; ts; sting; hist_len; readers } ->
@@ -151,25 +187,27 @@ let to_json ~time ev =
           ("readers", i readers);
         ]
   | Note { detail } -> base [ ("detail", s detail) ]
+  | Span_tag { span; tag; v } -> base [ ("span", i span); ("tag", s tag); ("v", i v) ]
 
 let pp fmt = function
-  | Msg_sent { src; dst; kind } -> Format.fprintf fmt "send %d->%d %s" src dst kind
-  | Msg_delivered { src; dst; kind } -> Format.fprintf fmt "deliver %d->%d %s" src dst kind
-  | Msg_dropped { src; dst; kind; reason } ->
+  | Msg_sent { src; dst; kind; _ } -> Format.fprintf fmt "send %d->%d %s" src dst kind
+  | Msg_delivered { src; dst; kind; _ } -> Format.fprintf fmt "deliver %d->%d %s" src dst kind
+  | Msg_dropped { src; dst; kind; reason; _ } ->
       Format.fprintf fmt "drop %d->%d %s (%s)" src dst kind reason
   | Retransmit { label } -> Format.fprintf fmt "retransmit l%d" label
   | Ack_roundtrip { label; ticks } -> Format.fprintf fmt "ack-rtt l%d %d ticks" label ticks
-  | Quorum_formed { op_id; client; phase; size } ->
+  | Quorum_formed { op_id; client; phase; size; _ } ->
       Format.fprintf fmt "quorum op=%d c%d %s size=%d" op_id client phase size
   | Label_adopted { server; writer; ack } ->
       Format.fprintf fmt "s%d adopts label from c%d (%s)" server writer
         (if ack then "ACK" else "NACK")
   | Epoch_changed { node; epoch; what } -> Format.fprintf fmt "%d %s epoch -> %d" node what epoch
   | Fault_injected { desc } -> Format.fprintf fmt "FAULT %s" desc
-  | Op_started { op_id; client; kind } -> Format.fprintf fmt "op=%d c%d %s start" op_id client kind
-  | Op_phase { op_id; client; phase; ticks } ->
+  | Op_started { op_id; client; kind; _ } ->
+      Format.fprintf fmt "op=%d c%d %s start" op_id client kind
+  | Op_phase { op_id; client; phase; ticks; _ } ->
       Format.fprintf fmt "op=%d c%d phase %s done in %d" op_id client phase ticks
-  | Op_finished { op_id; client; kind; outcome; ticks } ->
+  | Op_finished { op_id; client; kind; outcome; ticks; _ } ->
       Format.fprintf fmt "op=%d c%d %s -> %s in %d" op_id client kind outcome ticks
   | Violation { op_id; kind; detail } ->
       Format.fprintf fmt "VIOLATION op=%d [%s] %s" op_id kind detail
@@ -177,6 +215,7 @@ let pp fmt = function
       Format.fprintf fmt "s%d state v=%d ts=%s hist=%d readers=%d" server value ts hist_len
         readers
   | Note { detail } -> Format.pp_print_string fmt detail
+  | Span_tag { span; tag; v } -> Format.fprintf fmt "span %d %s=%d" span tag v
 
 let to_string ev = Format.asprintf "%a" pp ev
 
@@ -200,6 +239,8 @@ let of_json j =
     | Some (Json.Bool b) -> Ok b
     | _ -> Error (Printf.sprintf "missing bool field %S" key)
   in
+  (* absent in pre-span artifacts and on unattributed events *)
+  let span = match Json.member "span" j with Some (Json.Int i) -> i | _ -> no_span in
   let* time = int "t" in
   let* ev = str "ev" in
   let* event =
@@ -208,18 +249,18 @@ let of_json j =
         let* src = int "src" in
         let* dst = int "dst" in
         let* kind = str "kind" in
-        Ok (Msg_sent { src; dst; kind })
+        Ok (Msg_sent { src; dst; kind; span })
     | "msg_delivered" ->
         let* src = int "src" in
         let* dst = int "dst" in
         let* kind = str "kind" in
-        Ok (Msg_delivered { src; dst; kind })
+        Ok (Msg_delivered { src; dst; kind; span })
     | "msg_dropped" ->
         let* src = int "src" in
         let* dst = int "dst" in
         let* kind = str "kind" in
         let* reason = str "reason" in
-        Ok (Msg_dropped { src; dst; kind; reason })
+        Ok (Msg_dropped { src; dst; kind; reason; span })
     | "retransmit" ->
         let* label = int "label" in
         Ok (Retransmit { label })
@@ -232,7 +273,7 @@ let of_json j =
         let* client = int "client" in
         let* phase = str "phase" in
         let* size = int "size" in
-        Ok (Quorum_formed { op_id; client; phase; size })
+        Ok (Quorum_formed { op_id; client; phase; size; span })
     | "label_adopted" ->
         let* server = int "server" in
         let* writer = int "writer" in
@@ -250,20 +291,20 @@ let of_json j =
         let* op_id = int "op_id" in
         let* client = int "client" in
         let* kind = str "kind" in
-        Ok (Op_started { op_id; client; kind })
+        Ok (Op_started { op_id; client; kind; span })
     | "op_phase" ->
         let* op_id = int "op_id" in
         let* client = int "client" in
         let* phase = str "phase" in
         let* ticks = int "ticks" in
-        Ok (Op_phase { op_id; client; phase; ticks })
+        Ok (Op_phase { op_id; client; phase; ticks; span })
     | "op_finished" ->
         let* op_id = int "op_id" in
         let* client = int "client" in
         let* kind = str "kind" in
         let* outcome = str "outcome" in
         let* ticks = int "ticks" in
-        Ok (Op_finished { op_id; client; kind; outcome; ticks })
+        Ok (Op_finished { op_id; client; kind; outcome; ticks; span })
     | "violation" ->
         let* op_id = int "op_id" in
         let* kind = str "kind" in
@@ -280,6 +321,11 @@ let of_json j =
     | "note" ->
         let* detail = str "detail" in
         Ok (Note { detail })
+    | "span_tag" ->
+        let* span = int "span" in
+        let* tag = str "tag" in
+        let* v = int "v" in
+        Ok (Span_tag { span; tag; v })
     | other -> Error (Printf.sprintf "unknown event name %S" other)
   in
   Ok (time, event)

@@ -71,15 +71,52 @@ let shard_field_name = function
 
 let shard_fields = [ Shard_puts; Shard_gets; Shard_aborts; Shard_put_ticks; Shard_get_ticks ]
 
-let kv_shard_memo : (int * shard_field, string) Hashtbl.t = Hashtbl.create 128
+let shard_field_index = function
+  | Shard_puts -> 0
+  | Shard_gets -> 1
+  | Shard_aborts -> 2
+  | Shard_put_ticks -> 3
+  | Shard_get_ticks -> 4
+
+(* The memo is bounded: one dense array per field, grown geometrically
+   up to [kv_shard_memo_cap] shards.  A store with more shards than the
+   cap falls back to [Printf] for the excess — correct, just not
+   allocation-free — instead of letting a pathological shard count (or
+   a corrupted shard index) grow an unbounded table for the life of the
+   process. *)
+let kv_shard_memo_cap = 1024
+
+let kv_shard_memo : string array array =
+  Array.init (List.length shard_fields) (fun _ -> [||])
+
+let kv_shard_memo_size () =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 kv_shard_memo
+
+let mint ~shard field = Printf.sprintf "%s%d.%s" kv_shard_prefix shard (shard_field_name field)
 
 let kv_shard ~shard field =
-  match Hashtbl.find_opt kv_shard_memo (shard, field) with
-  | Some name -> name
-  | None ->
-      let name = Printf.sprintf "%s%d.%s" kv_shard_prefix shard (shard_field_name field) in
-      Hashtbl.add kv_shard_memo (shard, field) name;
+  if shard < 0 || shard >= kv_shard_memo_cap then mint ~shard field
+  else begin
+    let fi = shard_field_index field in
+    let row = kv_shard_memo.(fi) in
+    let row =
+      if shard < Array.length row then row
+      else begin
+        let cap = min kv_shard_memo_cap (max 16 (max ((shard + 1) * 2) (Array.length row * 2))) in
+        let bigger = Array.make cap "" in
+        Array.blit row 0 bigger 0 (Array.length row);
+        kv_shard_memo.(fi) <- bigger;
+        bigger
+      end
+    in
+    let name = row.(shard) in
+    if String.length name > 0 then name
+    else begin
+      let name = mint ~shard field in
+      row.(shard) <- name;
       name
+    end
+  end
 
 (* -- registry ------------------------------------------------------- *)
 

@@ -74,7 +74,17 @@ val shard_field_name : shard_field -> string
 
 val kv_shard : shard:int -> shard_field -> string
 (** [kv_shard ~shard field] is ["kv.shard.<shard>.<field>"], memoized
-    so repeated lookups allocate nothing. *)
+    so repeated lookups allocate nothing.  The memo is bounded at
+    {!kv_shard_memo_cap} shards; out-of-range shard indices (including
+    negative ones from corrupted state) still mint a correct name but
+    bypass the memo rather than growing it without bound. *)
+
+val kv_shard_memo_cap : int
+(** Upper bound on memoized shard indices (per field). *)
+
+val kv_shard_memo_size : unit -> int
+(** Total slots currently allocated across the per-field memo arrays —
+    exposed so tests can assert the bound holds. *)
 
 type kind = Counter | Histogram | Prefix
 

@@ -13,6 +13,7 @@ let () =
       ("json", Test_json.suite);
       ("observability", Test_observability.suite);
       ("analysis", Test_analysis.suite);
+      ("spans+trends", Test_spans.suite);
       ("replay", Test_replay.suite);
       ("network", Test_network.suite);
       ("lossy", Test_lossy.suite);

@@ -12,21 +12,23 @@ module Diff = Sbft_analysis.Diff
 
 let all_variants : E.t list =
   [
-    E.Msg_sent { src = 1; dst = 2; kind = "write_req" };
-    E.Msg_delivered { src = 1; dst = 2; kind = "write_req" };
-    E.Msg_dropped { src = 1; dst = 2; kind = "reply"; reason = "crashed" };
+    E.Msg_sent { src = 1; dst = 2; kind = "write_req"; span = 4 };
+    E.Msg_sent { src = 1; dst = 2; kind = "write_req"; span = E.no_span };
+    E.Msg_delivered { src = 1; dst = 2; kind = "write_req"; span = 4 };
+    E.Msg_dropped { src = 1; dst = 2; kind = "reply"; reason = "crashed"; span = E.no_span };
     E.Retransmit { label = 7 };
     E.Ack_roundtrip { label = 7; ticks = 12 };
-    E.Quorum_formed { op_id = 3; client = 6; phase = "collect"; size = 5 };
+    E.Quorum_formed { op_id = 3; client = 6; phase = "collect"; size = 5; span = 4 };
     E.Label_adopted { server = 2; writer = 6; ack = true };
     E.Epoch_changed { node = 6; epoch = 2; what = "read_label" };
     E.Fault_injected { desc = "corrupt s1" };
-    E.Op_started { op_id = 3; client = 6; kind = "write" };
-    E.Op_phase { op_id = 3; client = 6; phase = "collect"; ticks = 9 };
-    E.Op_finished { op_id = 3; client = 6; kind = "write"; outcome = "ok"; ticks = 20 };
+    E.Op_started { op_id = 3; client = 6; kind = "write"; span = 4 };
+    E.Op_phase { op_id = 3; client = 6; phase = "collect"; ticks = 9; span = 4 };
+    E.Op_finished { op_id = 3; client = 6; kind = "write"; outcome = "ok"; ticks = 20; span = 4 };
     E.Violation { op_id = 3; kind = "stale"; detail = "read 3 returned overwritten value" };
     E.Server_state { server = 1; value = 9; ts = "(3,{1,2})@w0"; sting = 3; hist_len = 2; readers = 1 };
     E.Note { detail = "free-form" };
+    E.Span_tag { span = 4; tag = "shard"; v = 11 };
   ]
 
 let test_event_json_roundtrip () =
@@ -53,14 +55,14 @@ let test_event_json_errors () =
    s0 and the message is dropped *)
 let tiny_trace =
   [
-    (1, E.Op_started { op_id = 0; client = 10; kind = "write" });
-    (1, E.Msg_sent { src = 10; dst = 0; kind = "write_req" });
-    (2, E.Msg_sent { src = 11; dst = 0; kind = "read" });
-    (3, E.Msg_delivered { src = 10; dst = 0; kind = "write_req" });
-    (3, E.Msg_sent { src = 0; dst = 10; kind = "write_ack" });
-    (4, E.Msg_dropped { src = 11; dst = 0; kind = "read"; reason = "crashed" });
-    (5, E.Msg_delivered { src = 0; dst = 10; kind = "write_ack" });
-    (5, E.Op_finished { op_id = 0; client = 10; kind = "write"; outcome = "ok"; ticks = 4 });
+    (1, E.Op_started { op_id = 0; client = 10; kind = "write"; span = 0 });
+    (1, E.Msg_sent { src = 10; dst = 0; kind = "write_req"; span = 0 });
+    (2, E.Msg_sent { src = 11; dst = 0; kind = "read"; span = 1 });
+    (3, E.Msg_delivered { src = 10; dst = 0; kind = "write_req"; span = 0 });
+    (3, E.Msg_sent { src = 0; dst = 10; kind = "write_ack"; span = 0 });
+    (4, E.Msg_dropped { src = 11; dst = 0; kind = "read"; reason = "crashed"; span = 1 });
+    (5, E.Msg_delivered { src = 0; dst = 10; kind = "write_ack"; span = 0 });
+    (5, E.Op_finished { op_id = 0; client = 10; kind = "write"; outcome = "ok"; ticks = 4; span = 0 });
     (6, E.Fault_injected { desc = "no lifeline" });
   ]
 
@@ -82,10 +84,10 @@ let test_fifo_matching () =
   let g =
     Causality.build
       [
-        (1, E.Msg_sent { src = 1; dst = 2; kind = "m" });
-        (2, E.Msg_sent { src = 1; dst = 2; kind = "m" });
-        (3, E.Msg_delivered { src = 1; dst = 2; kind = "m" });
-        (4, E.Msg_delivered { src = 1; dst = 2; kind = "m" });
+        (1, E.Msg_sent { src = 1; dst = 2; kind = "m"; span = E.no_span });
+        (2, E.Msg_sent { src = 1; dst = 2; kind = "m"; span = E.no_span });
+        (3, E.Msg_delivered { src = 1; dst = 2; kind = "m"; span = E.no_span });
+        (4, E.Msg_delivered { src = 1; dst = 2; kind = "m"; span = E.no_span });
       ]
   in
   let msg =
@@ -94,7 +96,7 @@ let test_fifo_matching () =
   in
   Alcotest.(check (list (pair int int))) "fifo" [ (0, 2); (1, 3) ] msg;
   (* an injected message (delivery with no send) matches nothing *)
-  let g2 = Causality.build [ (1, E.Msg_delivered { src = 5; dst = 6; kind = "ghost" }) ] in
+  let g2 = Causality.build [ (1, E.Msg_delivered { src = 5; dst = 6; kind = "ghost"; span = E.no_span }) ] in
   Alcotest.(check int) "injected unmatched" 0 (edge_count g2 Causality.Message)
 
 let test_cone () =

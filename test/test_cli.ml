@@ -121,9 +121,62 @@ let test_fuzz_smoke_and_shrink_loop () =
   Alcotest.(check bool) "minimal artifact exists" true (Sys.file_exists min_trace);
   check_exit "minimal reproducer replays clean" 0 (sh "%s replay %s >/dev/null 2>&1" exe min_trace)
 
+(* spans: a recorded trace yields span trees with full coverage; an
+   impossible coverage floor exits 3; a span-free trace exits 1. *)
+let test_spans_exit_codes () =
+  let t = temp "spantrace" ".trace" in
+  check_exit "record a trace" 0
+    (sh "%s run -n 6 --clients 3 --ops 8 --seed 11 --trace-out %s >/dev/null 2>&1" exe t);
+  let out = temp "spansout" ".txt" in
+  check_exit "spans on a full trace exits 0" 0 (sh "%s spans %s > %s 2>&1" exe t out);
+  Alcotest.(check bool) "waterfall rendered" true
+    (let o = read_file out in
+     replace_once o ~sub:"coverage" ~by:"" <> o);
+  check_exit "95%% coverage floor holds on a full trace" 0
+    (sh "%s spans %s --min-coverage 0.95 >/dev/null 2>&1" exe t);
+  check_exit "impossible coverage floor exits 3" 3
+    (sh "%s spans %s --min-coverage 1.01 >/dev/null 2>&1" exe t);
+  let json = temp "spans" ".json" in
+  check_exit "json export" 0 (sh "%s spans %s --json %s >/dev/null 2>&1" exe t json);
+  Alcotest.(check bool) "json artifact mentions spans" true
+    (let j = read_file json in
+     replace_once j ~sub:{|"span"|} ~by:"" <> j);
+  (* a trace with no span-bearing events: the header alone *)
+  let empty = temp "headeronly" ".trace" in
+  let header = List.hd (String.split_on_char '\n' (read_file t)) in
+  write_file empty (header ^ "\n");
+  check_exit "span-free trace exits 1" 1 (sh "%s spans %s >/dev/null 2>&1" exe empty)
+
+(* trends: identical runs are quiet; a >tolerance drift exits 1; the
+   database accumulates appended runs. *)
+let test_trends_exit_codes () =
+  let a = temp "trenda" ".json" and b = temp "trendb" ".json" in
+  write_file a {|{"counters":{"ops":100},"kv":{"put_ticks":25.0}}|};
+  write_file b {|{"counters":{"ops":110},"kv":{"put_ticks":26.0}}|};
+  check_exit "within tolerance exits 0" 0 (sh "%s trends %s %s >/dev/null 2>&1" exe a b);
+  write_file b {|{"counters":{"ops":100},"kv":{"put_ticks":60.0}}|};
+  let out = temp "trendsout" ".txt" in
+  check_exit "beyond-tolerance drift exits 1" 1 (sh "%s trends %s %s > %s 2>&1" exe a b out);
+  Alcotest.(check bool) "drifted metric named" true
+    (let o = read_file out in
+     replace_once o ~sub:"kv.put_ticks" ~by:"" <> o);
+  check_exit "wider tolerance accepts the same pair" 0
+    (sh "%s trends %s %s --tolerance 2.0 >/dev/null 2>&1" exe a b);
+  (* database mode: appends accumulate, latest pair drives the verdict *)
+  let db = temp "trendsdb" ".jsonl" in
+  Sys.remove db;
+  check_exit "db append (first run)" 0 (sh "%s trends %s --db %s >/dev/null 2>&1" exe a db);
+  check_exit "db append (drifting run) exits 1" 1
+    (sh "%s trends %s --db %s >/dev/null 2>&1" exe b db);
+  Alcotest.(check int) "db holds both runs" 2
+    (List.length
+       (String.split_on_char '\n' (read_file db) |> List.filter (fun l -> l <> "")))
+
 let suite =
   [
     Alcotest.test_case "diff exit codes: ok / warn / fail" `Quick test_diff_exit_codes;
+    Alcotest.test_case "spans exit codes and artifacts" `Quick test_spans_exit_codes;
+    Alcotest.test_case "trends drift gate and run database" `Quick test_trends_exit_codes;
     Alcotest.test_case "replay: fingerprint warning, verdict regression" `Quick
       test_replay_fingerprint_and_verdict;
     Alcotest.test_case "corpus directory exit codes" `Quick test_corpus_exit_codes;

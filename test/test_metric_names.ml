@@ -18,6 +18,33 @@ let test_registry () =
       Alcotest.(check bool) (n ^ " documented") true (String.length doc > 0))
     Metric_names.all
 
+let test_shard_memo_bounded () =
+  let name shard field = Metric_names.kv_shard ~shard field in
+  (* in-range lookups are memoized: same physical string both times *)
+  Alcotest.(check string) "minted name" "kv.shard.7.puts" (name 7 Metric_names.Shard_puts);
+  Alcotest.(check bool) "memo hit returns the same string" true
+    (name 7 Metric_names.Shard_puts == name 7 Metric_names.Shard_puts);
+  (* hostile shard indices: still correct, never grow the memo *)
+  List.iter
+    (fun shard ->
+      List.iter
+        (fun f ->
+          Alcotest.(check string)
+            (Printf.sprintf "out-of-range shard %d" shard)
+            (Printf.sprintf "kv.shard.%d.%s" shard (Metric_names.shard_field_name f))
+            (name shard f))
+        Metric_names.shard_fields)
+    [ -1; -1000; Metric_names.kv_shard_memo_cap; 100 * Metric_names.kv_shard_memo_cap; max_int ];
+  let fields = List.length Metric_names.shard_fields in
+  Alcotest.(check bool) "memo stays within cap * fields" true
+    (Metric_names.kv_shard_memo_size () <= Metric_names.kv_shard_memo_cap * fields);
+  (* saturate every legal shard and re-check the bound *)
+  for shard = 0 to Metric_names.kv_shard_memo_cap - 1 do
+    ignore (name shard Metric_names.Shard_put_ticks)
+  done;
+  Alcotest.(check bool) "bound holds at saturation" true
+    (Metric_names.kv_shard_memo_size () <= Metric_names.kv_shard_memo_cap * fields)
+
 (* ------------------------------------------------------------------ *)
 (* source lint *)
 
@@ -85,5 +112,6 @@ let test_no_raw_metric_literals () =
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "shard memo bounded" `Quick test_shard_memo_bounded;
     Alcotest.test_case "no raw metric literals in lib/" `Quick test_no_raw_metric_literals;
   ]

@@ -116,8 +116,10 @@ let test_trace_logf_lazy () =
 
 let test_trace_typed_events () =
   let t = Trace.create ~level:Trace.On () in
-  Trace.emit t ~time:3 (Event.Msg_sent { src = 6; dst = 0; kind = "write_req" });
-  Trace.emit t ~time:5 (Event.Op_finished { op_id = 9; client = 6; kind = "write"; outcome = "ok"; ticks = 2 });
+  Trace.emit t ~time:3 (Event.Msg_sent { src = 6; dst = 0; kind = "write_req"; span = Event.no_span });
+  Trace.emit t ~time:5
+    (Event.Op_finished
+       { op_id = 9; client = 6; kind = "write"; outcome = "ok"; ticks = 2; span = Event.no_span });
   (match Trace.entries t with
   | [ (3, e1); (5, e2) ] ->
       Alcotest.(check string) "name 1" "msg_sent" (Event.name e1);
@@ -148,7 +150,7 @@ let test_json_roundtrip () =
     (match Json.of_string "{\"a\":" with Error _ -> true | Ok _ -> false)
 
 let test_event_to_json () =
-  let j = Event.to_json ~time:11 (Event.Msg_dropped { src = 2; dst = 8; kind = "reply"; reason = "crashed" }) in
+  let j = Event.to_json ~time:11 (Event.Msg_dropped { src = 2; dst = 8; kind = "reply"; reason = "crashed"; span = Event.no_span }) in
   let s = Json.to_string j in
   match Json.of_string s with
   | Error e -> Alcotest.failf "event json unparseable: %s" e
@@ -163,8 +165,8 @@ let test_jsonl_sink () =
   let oc = open_out path in
   let t = Trace.create ~capacity:2 ~level:Trace.On () in
   Trace.add_sink t (Trace.jsonl_sink oc);
-  Trace.emit t ~time:1 (Event.Op_started { op_id = 0; client = 6; kind = "write" });
-  Trace.emit t ~time:4 (Event.Quorum_formed { op_id = 0; client = 6; phase = "ts"; size = 5 });
+  Trace.emit t ~time:1 (Event.Op_started { op_id = 0; client = 6; kind = "write"; span = 0 });
+  Trace.emit t ~time:4 (Event.Quorum_formed { op_id = 0; client = 6; phase = "ts"; size = 5; span = 0 });
   Trace.emit t ~time:6 (Event.Fault_injected { desc = "corrupt s0" });
   close_out oc;
   let ic = open_in path in

@@ -167,12 +167,12 @@ let test_artifacts_json () =
 
 let test_forensics_dump () =
   let tr = Sim.Trace.create ~level:Sim.Trace.On () in
-  Sim.Trace.emit tr ~time:12 (Sim.Event.Op_started { op_id = 0; client = 6; kind = "write" });
+  Sim.Trace.emit tr ~time:12 (Sim.Event.Op_started { op_id = 0; client = 6; kind = "write"; span = 0 });
   Sim.Trace.emit tr ~time:14 (Sim.Event.Fault_injected { desc = "corrupt s2" });
-  Sim.Trace.emit tr ~time:15 (Sim.Event.Op_started { op_id = 7; client = 9; kind = "write" });
-  Sim.Trace.emit tr ~time:20 (Sim.Event.Op_finished { op_id = 0; client = 6; kind = "write"; outcome = "ok"; ticks = 8 });
-  Sim.Trace.emit tr ~time:40 (Sim.Event.Op_started { op_id = 1; client = 7; kind = "read" });
-  Sim.Trace.emit tr ~time:50 (Sim.Event.Op_finished { op_id = 1; client = 7; kind = "read"; outcome = "value"; ticks = 10 });
+  Sim.Trace.emit tr ~time:15 (Sim.Event.Op_started { op_id = 7; client = 9; kind = "write"; span = 1 });
+  Sim.Trace.emit tr ~time:20 (Sim.Event.Op_finished { op_id = 0; client = 6; kind = "write"; outcome = "ok"; ticks = 8; span = 0 });
+  Sim.Trace.emit tr ~time:40 (Sim.Event.Op_started { op_id = 1; client = 7; kind = "read"; span = 2 });
+  Sim.Trace.emit tr ~time:50 (Sim.Event.Op_finished { op_id = 1; client = 7; kind = "read"; outcome = "value"; ticks = 10; span = 2 });
   let h : unit H.t = H.create () in
   let w = H.begin_write h ~client:6 ~value:1 ~time:12 in
   H.end_write h ~id:w ~time:20 ~ts:None;

@@ -155,7 +155,7 @@ let test_profile_event_attribution () =
   let tr = Trace.create ~level:Trace.On () in
   Trace.add_sink tr (Profile.event_sink p);
   for i = 1 to 5 do
-    Trace.emit tr ~time:i (Event.Msg_sent { src = 0; dst = 1; kind = "write_req" })
+    Trace.emit tr ~time:i (Event.Msg_sent { src = 0; dst = 1; kind = "write_req"; span = Event.no_span })
   done;
   Trace.emit tr ~time:9 (Event.Note { detail = "x" });
   let r = Profile.report ~top:2 p in
