@@ -14,7 +14,12 @@
      explore    sweep the fixed schedule grid for counterexamples
      fuzz       coverage-guided mutation over whole scenarios
      shrink     minimize a failing trace to a one-line reproducer
-     corpus     replay the committed regression corpus *)
+     corpus     replay the committed regression corpus
+     storm      random fault storms checked live by the monitor
+     kv         Zipfian session against the sharded key-value store
+     watch      kv session with a live ASCII dashboard
+     report     render a kv metrics artifact as a standalone HTML page
+     bench      hot-path throughput and the perf-regression gate *)
 
 open Cmdliner
 module Scenario = Sbft_harness.Scenario
@@ -914,12 +919,170 @@ let storm_cmd =
 (* ------------------------------------------------------------------ *)
 (* kv *)
 
+(* Shared scaffolding for `kv` and `watch`: pre-populate the keyspace,
+   schedule the fault plan and arm the streaming observability (online
+   stabilization detector + anomaly ruleset).  Returns the detector,
+   the optional alert engine and the absolute virtual time of the last
+   scheduled fault — the detector epoch and the regularity-audit
+   cutoff. *)
+let kv_prepare kv ~keys ~clients ~doom ~fault_at ~fault_shards ~window ~stab_k ~slo_p99
+    ~slo_budget =
+  let engine = Sbft_kv.Store.engine kv in
+  let shards = Sbft_kv.Store.shard_count kv in
+  let key_arr = Array.init keys (fun i -> Printf.sprintf "key-%d" i) in
+  Array.iteri
+    (fun i key -> Sbft_kv.Store.put kv ~client:(i mod clients) ~key ~value:(1000 + i) ())
+    key_arr;
+  Sbft_kv.Store.quiesce kv;
+  let session_start = Sbft_sim.Engine.now engine in
+  let doom_time = 300 in
+  if doom then begin
+    let doomed = Sbft_kv.Store.shard_of_key kv key_arr.(0) in
+    Printf.printf "shard %d will suffer Byzantine takeover + corruption at t=%d\n" doomed
+      (session_start + doom_time);
+    Sbft_sim.Engine.schedule engine ~delay:doom_time (fun () ->
+        Sbft_kv.Store.apply_to_shard kv ~shard:doomed (fun sys ->
+            ignore (Sbft_byz.Strategy.install_all sys Sbft_byz.Strategies.equivocate);
+            Sbft_core.System.corrupt_everything sys ~severity:`Heavy))
+  end;
+  (match fault_at with
+  | Some t ->
+      let hit = max 1 (min fault_shards shards) in
+      Printf.printf "%d shard%s will suffer transient heavy corruption at t=%d\n" hit
+        (if hit = 1 then "" else "s")
+        (session_start + t);
+      Sbft_sim.Engine.schedule engine ~delay:t (fun () ->
+          for s = 0 to hit - 1 do
+            Sbft_kv.Store.apply_to_shard kv ~shard:s (fun sys ->
+                Sbft_core.System.corrupt_everything sys ~severity:`Heavy)
+          done)
+  | None -> ());
+  let fault_after =
+    let last = max (if doom then doom_time else 0) (Option.value ~default:0 fault_at) in
+    if last = 0 then 0 else session_start + last
+  in
+  let det_window = if window > 0 then window else 50 in
+  let stab =
+    Sbft_harness.Stabilization.attach ~k:stab_k ~window:det_window ~after:fault_after kv
+  in
+  let alerts =
+    if Sbft_kv.Store.series_enabled kv then
+      Some
+        (Sbft_harness.Alerts.attach
+           ~config:
+             {
+               Sbft_harness.Alerts.default_config with
+               slo = { p99_ticks = slo_p99; error_budget = slo_budget };
+             }
+           kv)
+    else None
+  in
+  (stab, alerts, fault_after)
+
+(* Drive the Zipfian closed-loop session, then close the streaming
+   pipeline (finalize detector and alerts, flush trailing windows) and
+   audit.  Returns the workload outcome and [(checked, violations)]. *)
+let kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after =
+  let engine = Sbft_kv.Store.engine kv in
+  let outcome =
+    Sbft_harness.Workload.run_kv
+      ~spec:
+        {
+          Sbft_harness.Workload.kv_ops_per_client = ops;
+          kv_write_ratio = 0.3;
+          kv_think_max = 25;
+          kv_value_base = 2000;
+          keys;
+          zipf_s = zipf;
+        }
+      kv
+  in
+  let now = Sbft_sim.Engine.now engine in
+  Sbft_harness.Stabilization.finalize stab ~now;
+  Option.iter (fun a -> Sbft_harness.Alerts.finalize a ~now) alerts;
+  Sbft_kv.Store.roll_series_to kv ~time:now;
+  let audit = Sbft_kv.Store.check_regular ~after:fault_after kv in
+  (outcome, audit)
+
+let kv_shards_arg = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.")
+
+let kv_n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers per shard.")
+
+let kv_f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound per shard.")
+
+let kv_seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.")
+
+let kv_keys_arg = Arg.(value & opt int 8 & info [ "keys" ] ~doc:"Distinct keys.")
+
+let kv_ops_arg = Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Operations per client.")
+
+let kv_clients_arg = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Logical store clients.")
+
+let kv_doom_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "doom" ] ~doc:"Destroy one shard mid-run (Byzantine takeover + heavy corruption).")
+
+let kv_fault_at_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-at" ] ~docv:"T"
+        ~doc:
+          "Inject transient heavy corruption into the first $(b,--fault-shards) shards T ticks \
+           into the session; the stabilization detector measures recovery from this instant.")
+
+let kv_fault_shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "fault-shards" ] ~docv:"N" ~doc:"Shards hit by $(b,--fault-at) (from shard 0).")
+
+let kv_zipf_arg =
+  Arg.(
+    value
+    & opt float Sbft_harness.Workload.default_kv.zipf_s
+    & info [ "zipf" ] ~docv:"S" ~doc:"Zipf skew exponent for key popularity (0 = uniform).")
+
+let kv_window_arg =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "window" ] ~docv:"TICKS"
+        ~doc:
+          "Tumbling-window width of the streaming per-shard series in virtual ticks (0 turns \
+           the series and the anomaly alerts off; the stabilization detector then falls back \
+           to 50-tick windows).")
+
+let kv_stab_k_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "stab-k" ] ~docv:"K"
+        ~doc:"Consecutive clean windows required to declare a shard stabilized.")
+
+let kv_slo_p99_arg =
+  Arg.(
+    value
+    & opt float Sbft_harness.Slo.default_target.p99_ticks
+    & info [ "slo-p99" ] ~docv:"TICKS" ~doc:"Per-shard p99 latency target in virtual ticks.")
+
+let kv_slo_budget_arg =
+  Arg.(
+    value
+    & opt float Sbft_harness.Slo.default_target.error_budget
+    & info [ "slo-error-budget" ] ~docv:"FRAC"
+        ~doc:"Allowed fraction of operations going bad (aborted reads).")
+
 let kv_cmd =
-  let go shards n f seed keys ops clients doom level sample profile progress slo_p99 slo_budget
-      metrics_out trace_out =
+  let go shards n f seed keys ops clients doom fault_at fault_shards zipf window stab_k level
+      sample profile progress slo_p99 slo_budget metrics_out trace_out =
     let clients = max 1 clients in
     let kv =
-      Sbft_kv.Store.create ~seed ~trace_level:level ~sample ~shards ~n ~f ~clients ()
+      Sbft_kv.Store.create ~seed ~trace_level:level ~sample
+        ?series_window:(if window > 0 then Some window else None)
+        ~shards ~n ~f ~clients ()
     in
     let engine = Sbft_kv.Store.engine kv in
     let trace_oc =
@@ -959,50 +1122,15 @@ let kv_cmd =
                  (if slo.ok then "ok" else "MISS")))
       else None
     in
-    let key_arr = Array.init keys (fun i -> Printf.sprintf "key-%d" i) in
-    Array.iteri
-      (fun i key -> Sbft_kv.Store.put kv ~client:(i mod clients) ~key ~value:(1000 + i) ())
-      key_arr;
-    Sbft_kv.Store.quiesce kv;
-    let doom_time = 300 in
-    if doom then begin
-      let doomed = Sbft_kv.Store.shard_of_key kv key_arr.(0) in
-      Printf.printf "shard %d will suffer Byzantine takeover + corruption at t=%d\n" doomed doom_time;
-      Sbft_sim.Engine.schedule engine ~delay:doom_time (fun () ->
-          Sbft_kv.Store.apply_to_shard kv ~shard:doomed (fun sys ->
-              ignore (Sbft_byz.Strategy.install_all sys Sbft_byz.Strategies.equivocate);
-              Sbft_core.System.corrupt_everything sys ~severity:`Heavy))
-    end;
-    let rng = Sbft_sim.Rng.create (Int64.add seed 3L) in
-    let v = ref 2000 and gets = ref 0 and aborts = ref 0 in
-    let rec session c remaining =
-      if remaining > 0 then begin
-        let key = Sbft_sim.Rng.pick rng key_arr in
-        let continue () =
-          Sbft_sim.Engine.schedule engine ~delay:(Sbft_sim.Rng.int_in rng 5 25) (fun () ->
-              session c (remaining - 1))
-        in
-        if Sbft_sim.Rng.chance rng 0.3 then begin
-          incr v;
-          Sbft_kv.Store.put kv ~client:c ~key ~value:!v ~k:continue ()
-        end
-        else
-          Sbft_kv.Store.get kv ~client:c ~key
-            ~k:(fun o ->
-              incr gets;
-              (match o with Sbft_spec.History.Abort -> incr aborts | _ -> ());
-              continue ())
-            ()
-      end
+    let stab, alerts, fault_after =
+      kv_prepare kv ~keys ~clients ~doom ~fault_at ~fault_shards ~window ~stab_k ~slo_p99
+        ~slo_budget
     in
-    for c = 0 to clients - 1 do
-      session c ops
-    done;
-    Sbft_kv.Store.quiesce kv;
+    let outcome, (checked, violations) = kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after in
     Option.iter Sbft_harness.Progress.finish heartbeat;
-    let checked, violations = Sbft_kv.Store.check_regular ~after:(if doom then doom_time else 0) kv in
-    Printf.printf "%d gets (%d aborted); audit: %d reads checked, %d violations\n" !gets !aborts
-      checked violations;
+    Printf.printf "%d puts, %d gets (%d aborted); audit: %d reads checked, %d violations\n"
+      outcome.Sbft_harness.Workload.issued_puts outcome.issued_gets outcome.aborted_gets checked
+      violations;
     Format.printf "%a@." Sbft_kv.Store.pp_stats kv;
     let slo =
       Sbft_harness.Slo.evaluate
@@ -1010,6 +1138,8 @@ let kv_cmd =
         ~shards (Sbft_sim.Engine.metrics engine)
     in
     Format.printf "%a@." Sbft_harness.Slo.pp slo;
+    Format.printf "%a@." Sbft_harness.Stabilization.pp stab;
+    Option.iter (fun a -> Format.printf "%a@." Sbft_harness.Alerts.pp a) alerts;
     let profile_report = if profile then Some (Sbft_sim.Profile.report prof) else None in
     Option.iter (fun rep -> Format.printf "%a@." Sbft_sim.Profile.pp rep) profile_report;
     (match metrics_oc with
@@ -1025,7 +1155,12 @@ let kv_cmd =
             ("seed", J.String (Int64.to_string seed));
             ("keys", J.Int keys);
             ("ops_per_client", J.Int ops);
+            ("zipf", J.Float zipf);
+            ("window", J.Int window);
+            ("stab_k", J.Int stab_k);
             ("doom", J.Bool doom);
+            ("fault_at", (match fault_at with Some t -> J.Int t | None -> J.Null));
+            ("fault_shards", J.Int fault_shards);
             ("trace_level", J.String (Sbft_sim.Trace.level_to_string level));
             ("ops_issued", J.Int (Sbft_kv.Store.ops_issued kv));
             ("vtime", J.Int (Sbft_sim.Engine.now engine));
@@ -1036,6 +1171,10 @@ let kv_cmd =
           (J.to_string
              (Sbft_harness.Artifacts.metrics_json ~run
                 ~regularity:(checked, violations)
+                ~stabilization_online:stab ?alerts
+                ?series:
+                  (if Sbft_kv.Store.series_enabled kv then Some (Sbft_kv.Store.all_series kv)
+                   else None)
                 ~shards:(Sbft_harness.Slo.to_json slo)
                 ?profile:(Option.map Sbft_sim.Profile.to_json profile_report)
                 ~metrics:(Sbft_sim.Engine.metrics engine)
@@ -1051,35 +1190,15 @@ let kv_cmd =
     | None -> ());
     if violations > 0 || not slo.ok then exit 2
   in
-  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.") in
-  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers per shard.") in
-  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound per shard.") in
-  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.") in
-  let keys = Arg.(value & opt int 8 & info [ "keys" ] ~doc:"Distinct keys.") in
-  let ops = Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Operations per client.") in
-  let clients = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Logical store clients.") in
-  let doom = Arg.(value & flag & info [ "doom" ] ~doc:"Destroy one shard mid-run.") in
-  let slo_p99 =
-    Arg.(
-      value
-      & opt float Sbft_harness.Slo.default_target.p99_ticks
-      & info [ "slo-p99" ] ~docv:"TICKS" ~doc:"Per-shard p99 latency target in virtual ticks.")
-  in
-  let slo_budget =
-    Arg.(
-      value
-      & opt float Sbft_harness.Slo.default_target.error_budget
-      & info [ "slo-error-budget" ] ~docv:"FRAC"
-          ~doc:"Allowed fraction of operations going bad (aborted reads).")
-  in
   let metrics_out =
     Arg.(
       value
       & opt (some string) None
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:
-            "Write a JSON metrics snapshot (per-shard counters/histograms with p50/p95/p99, SLO \
-             verdicts, optional profile) to FILE.")
+            "Write a JSON metrics snapshot (per-shard counters/histograms with p50/p95/p99, \
+             streaming series windows, online stabilization verdicts, alerts, SLO verdicts, \
+             optional profile) to FILE.")
   in
   let kv_trace_out =
     Arg.(
@@ -1093,12 +1212,111 @@ let kv_cmd =
   Cmd.v
     (Cmd.info "kv"
        ~doc:
-         "Run a session against the sharded key-value store, audit it and gate per-shard SLOs \
-          (exit 2 on a violation or SLO miss)")
+         "Run a Zipfian session against the sharded key-value store with streaming per-shard \
+          series and an online stabilization detector, audit it and gate per-shard SLOs (exit 2 \
+          on a violation or SLO miss)")
     Term.(
-      const go $ shards $ n $ f $ seed $ keys $ ops $ clients $ doom $ trace_level_arg
-      $ sample_arg $ profile_arg $ progress_arg $ slo_p99 $ slo_budget $ metrics_out
-      $ kv_trace_out)
+      const go $ kv_shards_arg $ kv_n_arg $ kv_f_arg $ kv_seed_arg $ kv_keys_arg $ kv_ops_arg
+      $ kv_clients_arg $ kv_doom_arg $ kv_fault_at_arg $ kv_fault_shards_arg $ kv_zipf_arg
+      $ kv_window_arg $ kv_stab_k_arg $ trace_level_arg $ sample_arg $ profile_arg $ progress_arg
+      $ kv_slo_p99_arg $ kv_slo_budget_arg $ metrics_out $ kv_trace_out)
+
+(* ------------------------------------------------------------------ *)
+(* watch *)
+
+let watch_cmd =
+  let go shards n f seed keys ops clients doom fault_at fault_shards zipf window stab_k slo_p99
+      slo_budget every_s ansi =
+    let clients = max 1 clients in
+    let window = if window > 0 then window else 50 in
+    let kv =
+      Sbft_kv.Store.create ~seed ~trace_level:Sbft_sim.Trace.Off ~series_window:window ~shards ~n
+        ~f ~clients ()
+    in
+    let engine = Sbft_kv.Store.engine kv in
+    let stab, alerts, fault_after =
+      kv_prepare kv ~keys ~clients ~doom ~fault_at ~fault_shards ~window ~stab_k ~slo_p99
+        ~slo_budget
+    in
+    let dash = Sbft_harness.Dashboard.create ~stabilization:stab ?alerts kv in
+    let heartbeat =
+      Sbft_harness.Progress.attach ~every_s ~out:stdout engine (fun () ->
+          (if ansi then "\027[2J\027[H" else "") ^ "\n" ^ Sbft_harness.Dashboard.render dash)
+    in
+    let outcome, (checked, violations) = kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after in
+    Sbft_harness.Progress.finish heartbeat;
+    Printf.printf "%d puts, %d gets (%d aborted); audit: %d reads checked, %d violations\n"
+      outcome.Sbft_harness.Workload.issued_puts outcome.issued_gets outcome.aborted_gets checked
+      violations;
+    Format.printf "%a@." Sbft_harness.Stabilization.pp stab;
+    Option.iter (fun a -> Format.printf "%a@." Sbft_harness.Alerts.pp a) alerts;
+    if violations > 0 then exit 2
+  in
+  let every_s =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "every" ] ~docv:"SECONDS"
+          ~doc:"Minimum wall-clock spacing between dashboard frames (0 = every poll).")
+  in
+  let ansi =
+    Arg.(
+      value
+      & flag
+      & info [ "ansi" ]
+          ~doc:
+            "Clear the screen before each frame (live-TTY mode); without it frames append, \
+             which is what captured logs and CI want.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run a kv session and watch it live: a wall-clock-paced ASCII dashboard of per-shard \
+          abort-rate sparklines, the fleet rollup, stabilization verdicts and active alerts \
+          (exit 2 on an audit violation)")
+    Term.(
+      const go $ kv_shards_arg $ kv_n_arg $ kv_f_arg $ kv_seed_arg $ kv_keys_arg $ kv_ops_arg
+      $ kv_clients_arg $ kv_doom_arg $ kv_fault_at_arg $ kv_fault_shards_arg $ kv_zipf_arg
+      $ kv_window_arg $ kv_stab_k_arg $ kv_slo_p99_arg $ kv_slo_budget_arg $ every_s $ ansi)
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd =
+  let go metrics_path html_path title =
+    let contents =
+      try In_channel.with_open_text metrics_path In_channel.input_all
+      with Sys_error e ->
+        Printf.eprintf "cannot open %s: %s\n" metrics_path e;
+        exit 1
+    in
+    match Sbft_sim.Json.of_string (String.trim contents) with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" metrics_path msg;
+        exit 1
+    | Ok artifact ->
+        Sbft_harness.Report.write_series_report ~path:html_path ?title artifact;
+        Printf.printf "wrote %s\n" html_path
+  in
+  let metrics =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"METRICS" ~doc:"A kv $(b,--metrics-out) artifact.")
+  in
+  let html =
+    Arg.(
+      value & opt string "report.html" & info [ "html" ] ~docv:"FILE" ~doc:"Output HTML path.")
+  in
+  let title =
+    Arg.(value & opt (some string) None & info [ "title" ] ~docv:"TITLE" ~doc:"Page title.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a kv metrics artifact's streaming blocks (per-shard sparklines, stabilization \
+          markers, alert log) into a standalone HTML page")
+    Term.(const go $ metrics $ html $ title)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -1409,5 +1627,7 @@ let () =
             corpus_cmd;
             storm_cmd;
             kv_cmd;
+            watch_cmd;
+            report_cmd;
             bench_cmd;
           ]))

@@ -1,0 +1,87 @@
+module Event = Sbft_sim.Event
+module Series = Sbft_sim.Series
+module J = Sbft_sim.Json
+
+(* Post-hoc recompute of the online stabilization verdict from a full
+   trace: replay every completed operation (Op_finished) through the
+   same Series.Detector the live harness runs, attributing each op to
+   its shard via the kv store's Span_tag.  Because both paths feed the
+   same detector with the same (completion time, dirty) stream, the
+   online and offline answers must agree — the acceptance test pins
+   them to within one window (the only slack: a trace may end before
+   the online path's final quiesce time). *)
+
+type t = {
+  window : int;
+  k : int;
+  after : int;
+  per_shard : Series.Detector.t array;
+  fleet : Series.Detector.t;
+  last_time : int;
+}
+
+(* An op's shard arrives on a separate Span_tag event, usually before
+   its Op_finished; collect the span -> shard map first. *)
+let shard_of_span events =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Event.Span_tag { span; tag; v } when tag = "shard" -> Hashtbl.replace tbl span v
+      | _ -> ())
+    events;
+  tbl
+
+let recompute ?(k = 3) ~window ~after ~shards events =
+  if window < 1 then invalid_arg "Stability.recompute: window must be positive";
+  let spans = shard_of_span events in
+  let per_shard = Array.init shards (fun _ -> Series.Detector.create ~k ~window ~after ()) in
+  let fleet = Series.Detector.create ~k ~window ~after () in
+  let last_time = ref 0 in
+  List.iter
+    (fun (time, ev) ->
+      if time > !last_time then last_time := time;
+      match ev with
+      | Event.Op_finished { outcome; span; _ } when outcome <> "incomplete" ->
+          let dirty = outcome = "abort" in
+          (match Hashtbl.find_opt spans span with
+          | Some shard when shard >= 0 && shard < shards ->
+              Series.Detector.observe per_shard.(shard) ~time ~dirty
+          | _ -> ());
+          Series.Detector.observe fleet ~time ~dirty
+      | _ -> ())
+    events;
+  { window; k; after; per_shard; fleet; last_time = !last_time }
+
+let finalize ?now t =
+  let now = match now with Some n -> n | None -> t.last_time in
+  Array.iter (fun det -> ignore (Series.Detector.finalize det ~now)) t.per_shard;
+  ignore (Series.Detector.finalize t.fleet ~now)
+
+let shards t = Array.length t.per_shard
+
+let shard_detector t i = t.per_shard.(i)
+
+let fleet_detector t = t.fleet
+
+let time_to_stabilize t i = Series.Detector.time_to_stabilize t.per_shard.(i)
+
+let fleet_time_to_stabilize t = Series.Detector.time_to_stabilize t.fleet
+
+let to_json t =
+  J.Obj
+    [
+      ("window", J.Int t.window);
+      ("k", J.Int t.k);
+      ("after", J.Int t.after);
+      ("fleet", Series.Detector.to_json t.fleet);
+      ( "shards",
+        J.List
+          (Array.to_list
+             (Array.mapi
+                (fun shard det ->
+                  match Series.Detector.to_json det with
+                  | J.Obj fields -> J.Obj (("shard", J.Int shard) :: fields)
+                  | other -> other)
+                t.per_shard)) );
+    ]

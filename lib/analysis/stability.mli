@@ -1,0 +1,35 @@
+(** Post-hoc recompute of the online stabilization verdict from a full
+    trace.
+
+    The live harness ({!Sbft_harness.Stabilization}) feeds op
+    completions into per-shard {!Sbft_sim.Series.Detector}s as the run
+    executes.  This module rebuilds the identical stream offline from
+    [Op_finished] events (shard-attributed via the kv store's
+    [Span_tag]) and runs it through the same detector — the
+    cross-check that the online answer is trustworthy, and the
+    fallback when only a trace survives. *)
+
+type t
+
+val recompute :
+  ?k:int -> window:int -> after:int -> shards:int -> (int * Sbft_sim.Event.t) list -> t
+(** [recompute ~window ~after ~shards events] feeds every completed
+    operation (outcome ≠ ["incomplete"]; dirty = ["abort"]) through
+    fresh detectors.  Ops whose span carries no shard tag still feed
+    the fleet detector.  Call {!finalize} before reading verdicts. *)
+
+val finalize : ?now:int -> t -> unit
+(** Count trailing silence up to [now] (default: the last event time)
+    as clean windows. *)
+
+val shards : t -> int
+
+val shard_detector : t -> int -> Sbft_sim.Series.Detector.t
+
+val fleet_detector : t -> Sbft_sim.Series.Detector.t
+
+val time_to_stabilize : t -> int -> int option
+
+val fleet_time_to_stabilize : t -> int option
+
+val to_json : t -> Sbft_sim.Json.t

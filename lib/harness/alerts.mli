@@ -1,0 +1,53 @@
+(** Streaming anomaly rules over the kv store's per-shard series.
+
+    Evaluated one tumbling window at a time on an engine daemon probe
+    (read-only, no randomness — attaching the ruleset cannot perturb a
+    run).  Three rules per shard per window:
+
+    - [slo_burn] (critical): the window consumed the SLO error budget
+      at ≥ a threshold multiple of the sustainable rate
+      ({!Slo.window_burn});
+    - [abort_spike] (warning): the window's abort rate jumped over the
+      shard's own trailing baseline;
+    - [divergence] (warning): the shard's abort rate strayed from the
+      fleet median for that window.
+
+    Firings are edge-triggered per (rule, shard): one {!Sbft_sim.Event.t}
+    [Alert] into the trace and one [alerts.<rule>] counter bump when a
+    rule starts firing, cleared silently when the condition passes. *)
+
+type config = {
+  slo : Slo.target;
+  burn_threshold : float;  (** fire at ≥ this multiple of budget burn *)
+  spike_factor : float;  (** fire at ≥ this multiple of the baseline rate *)
+  spike_min_rate : float;  (** …but never below this absolute rate *)
+  divergence_delta : float;  (** fire at ≥ this distance from the median *)
+  min_ops : int;  (** windows with fewer ops are never judged *)
+  baseline_windows : int;  (** trailing windows feeding the spike baseline *)
+}
+
+val default_config : config
+
+type firing = { rule : string; shard : int; window_index : int; detail : string }
+
+type t
+
+val attach : ?config:config -> Sbft_kv.Store.t -> t
+(** Requires a store created with [series_window] (raises
+    [Invalid_argument] otherwise); the evaluation period is the series'
+    window width. *)
+
+val finalize : t -> now:int -> unit
+(** Evaluate any windows that closed after the last daemon tick. *)
+
+val active : t -> firing list
+(** Currently-firing rules, sorted by (shard, rule). *)
+
+val log : t -> firing list
+(** Every rising edge, oldest first. *)
+
+val fired : t -> int
+
+val to_json : t -> Sbft_sim.Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -13,6 +13,16 @@ let histogram_json (h : Metrics.hist_snapshot) =
       (fun (name, sat) -> if sat then Some (J.String name) else None)
       [ ("p50", sat50); ("p95", sat95); ("p99", sat99) ]
   in
+  (* When any percentile clamped, surface the streaming-digest estimate
+     alongside the lower bound: stream.p99 is the digest's answer where
+     the bucket scheme could only say "≥ last bound". *)
+  let stream =
+    match (saturated, h.stream) with
+    | [], _ | _, None -> []
+    | _ :: _, Some q ->
+        let est p = J.Float (Sbft_sim.Series.Quantile.quantile q p) in
+        [ ("stream", J.Obj [ ("p50", est 50.0); ("p95", est 95.0); ("p99", est 99.0) ]) ]
+  in
   J.Obj
     ([
        ("count", J.Int h.count);
@@ -25,13 +35,14 @@ let histogram_json (h : Metrics.hist_snapshot) =
        ("p99", J.Float p99);
      ]
     @ (if saturated = [] then [] else [ ("saturated", J.List saturated) ])
+    @ stream
     @ [
         ("bounds", J.List (Array.to_list (Array.map (fun b -> J.Float b) h.bounds)));
         ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
       ])
 
-let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ?shards ?profile ~metrics
-    ~per_node () =
+let metrics_json ?(run = []) ?stabilization ?stabilization_online ?alerts ?series ?regularity
+    ?telemetry ?shards ?profile ~metrics ~per_node () =
   let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in
   let histograms = List.map (fun (k, h) -> (k, histogram_json h)) (Metrics.histograms metrics) in
   let nodes =
@@ -54,6 +65,39 @@ let metrics_json ?(run = []) ?stabilization ?regularity ?telemetry ?shards ?prof
     | Some (checked, violations) ->
         base @ [ ("regularity", J.Obj [ ("checked", J.Int checked); ("violations", J.Int violations) ]) ]
     | None -> base
+  in
+  let base =
+    match stabilization_online with
+    | Some st -> base @ [ ("stabilization_online", Stabilization.to_json st) ]
+    | None -> base
+  in
+  let base = match alerts with Some a -> base @ [ ("alerts", Alerts.to_json a) ] | None -> base in
+  let base =
+    match series with
+    | Some (shard_series : Sbft_kv.Store.shard_series list) when shard_series <> [] ->
+        let per_shard =
+          List.mapi
+            (fun shard (s : Sbft_kv.Store.shard_series) ->
+              J.Obj
+                [
+                  ("shard", J.Int shard);
+                  ("flow", Sbft_sim.Series.to_json s.Sbft_kv.Store.flow);
+                  ("lat", Sbft_sim.Series.to_json s.Sbft_kv.Store.lat);
+                ])
+            shard_series
+        in
+        let flows = List.map (fun (s : Sbft_kv.Store.shard_series) -> s.Sbft_kv.Store.flow) shard_series in
+        let fleet =
+          J.List
+            (List.map
+               (fun (idx, agg) ->
+                 match Sbft_sim.Series.Agg.to_json agg with
+                 | J.Obj fields -> J.Obj (("index", J.Int idx) :: fields)
+                 | other -> other)
+               (Sbft_sim.Series.merge_recent flows))
+        in
+        base @ [ ("series", J.Obj [ ("shards", J.List per_shard); ("fleet", fleet) ]) ]
+    | Some _ | None -> base
   in
   let base =
     match telemetry with Some j -> base @ [ ("telemetry", j) ] | None -> base

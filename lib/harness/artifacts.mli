@@ -24,6 +24,9 @@ val histogram_json : Sbft_sim.Metrics.hist_snapshot -> Sbft_sim.Json.t
 val metrics_json :
   ?run:(string * Sbft_sim.Json.t) list ->
   ?stabilization:Probe.report ->
+  ?stabilization_online:Stabilization.t ->
+  ?alerts:Alerts.t ->
+  ?series:Sbft_kv.Store.shard_series list ->
   ?regularity:int * int ->
   ?telemetry:Sbft_sim.Json.t ->
   ?shards:Sbft_sim.Json.t ->
@@ -36,6 +39,12 @@ val metrics_json :
     {!Telemetry.to_json}'s convergence block, [shards] is
     {!Slo.to_json}'s per-shard SLO block and [profile] is
     {!Sbft_sim.Profile.to_json}'s self-profile — each embedded
-    verbatim. *)
+    verbatim.
+
+    The streaming blocks: [stabilization_online] is the live
+    detector's verdicts ({!Stabilization.to_json}), [alerts] the
+    anomaly ruleset's firings ({!Alerts.to_json}), and [series] the
+    per-shard windowed series plus their fleet merge (flush with
+    {!Sbft_kv.Store.roll_series_to} first). *)
 
 val write_file : path:string -> Sbft_sim.Json.t -> unit

@@ -43,6 +43,12 @@ type overhead = {
   full_overhead_pct : float;
 }
 
+type series_overhead = {
+  base_events_per_s : float;  (** Zipfian kv run, trace off, series off *)
+  on_events_per_s : float;  (** same run with per-shard series + online detector *)
+  series_overhead_pct : float;  (** percent slower; the ISSUE target is <5 *)
+}
+
 type t = {
   engine_events_per_s : float;  (** fired thunks/sec at trace [On] *)
   engine_runs : int;  (** scenario executions the rate was averaged over *)
@@ -50,6 +56,7 @@ type t = {
   fuzz_executed : int;
   checker : checker;
   overhead : overhead;
+  series : series_overhead;
 }
 
 val synthetic_history :
@@ -74,11 +81,15 @@ type regression = {
 
 val compare_to_baseline :
   tolerance:float -> baseline:Sbft_sim.Json.t -> t -> regression list
-(** Gate on four rates: engine events/sec, fuzz schedules/sec, checker
-    throughput (1e6 / sweep µs) and tracing-off events/sec (the no-op
-    fast path must not silently grow a cost).  A metric regresses when
+(** Gate on five rates: engine events/sec, fuzz schedules/sec, checker
+    throughput (1e6 / sweep µs), tracing-off events/sec (the no-op
+    fast path must not silently grow a cost) and series-on kv
+    events/sec.  A metric regresses when
     [current < (1 - tolerance) * baseline]; metrics missing from the
     baseline are skipped — so pre-PR6 baselines only gate the first
     three, and BENCH_PR5-era engine numbers (emitted-event based,
     strictly lower than fired-thunk counts) can never false-fail.
-    Empty list = gate passes. *)
+    Additionally, when the baseline carries a series row, the series
+    overhead is gated {e absolutely} at 5% — the streaming pipeline's
+    hot-path budget, independent of machine speed.  Empty list = gate
+    passes. *)

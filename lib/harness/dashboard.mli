@@ -1,0 +1,26 @@
+(** Plain-text live dashboard over a running kv store's streaming
+    series: a per-shard sparkline of abort rate per closed window, a
+    fleet rollup row (the associative window merge), the stabilization
+    verdicts and active alerts.
+
+    Rendering reads state and draws no randomness — watching a run
+    cannot change it.  [sbftreg watch] prints a frame per heartbeat on
+    the {!Progress} wall-clock pacing. *)
+
+type t
+
+val create :
+  ?windows:int -> ?stabilization:Stabilization.t -> ?alerts:Alerts.t -> Sbft_kv.Store.t -> t
+(** [windows] is the sparkline width in closed windows (default 32). *)
+
+val render : t -> string
+(** One complete frame, trailing newline included. *)
+
+val sparkline :
+  ?lo:float ->
+  ?hi:float ->
+  value:(Sbft_sim.Series.Agg.t -> float) ->
+  (int * Sbft_sim.Series.Agg.t) list ->
+  string
+(** ASCII ramp over one value per window; empty windows render as a
+    space.  [hi] defaults to the observed maximum. *)

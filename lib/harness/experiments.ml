@@ -1267,6 +1267,76 @@ let e22_observability () =
 
 (* ------------------------------------------------------------------ *)
 
+let e23_time_to_stabilize () =
+  (* The PR-8 online detector under a fault-density sweep: a 16-shard
+     Zipfian store takes transient heavy corruption on 1 / 4 / 8
+     shards at t=250, and {!Stabilization} (K=3 clean windows of 40
+     ticks) reports per-shard and fleet time-to-stabilize live, from
+     op completions only.  Denser faults keep the fleet window dirty
+     longer (any shard's abort dirties it) while each hit shard's own
+     clock barely moves — blast radius in time rather than space. *)
+  let module Store = Sbft_kv.Store in
+  let shards = 16 and window = 40 and fault_at = 250 in
+  let row ~hit =
+    let gets = ref 0 and aborts = ref 0 and stabilized = ref 0 in
+    let shard_tts = ref [] and fleet_tts = ref [] in
+    List.iter
+      (fun seed ->
+        let kv =
+          Store.create ~seed ~trace_level:Sbft_sim.Trace.Off ~series_window:window ~shards ~n:6
+            ~f:1 ~clients:8 ()
+        in
+        let engine = Store.engine kv in
+        Engine.schedule engine ~delay:fault_at (fun () ->
+            for s = 0 to hit - 1 do
+              Store.apply_to_shard kv ~shard:s (fun sys ->
+                  System.corrupt_everything sys ~severity:`Heavy)
+            done);
+        let stab = Stabilization.attach ~window ~after:fault_at kv in
+        let o =
+          Workload.run_kv
+            ~spec:{ Workload.default_kv with kv_ops_per_client = 40; keys = 64 }
+            kv
+        in
+        Stabilization.finalize stab ~now:(Engine.now engine);
+        gets := !gets + o.Workload.issued_gets;
+        aborts := !aborts + o.Workload.aborted_gets;
+        stabilized := !stabilized + Stabilization.stabilized_shards stab;
+        for s = 0 to hit - 1 do
+          match Stabilization.time_to_stabilize stab s with
+          | Some v -> shard_tts := float_of_int v :: !shard_tts
+          | None -> ()
+        done;
+        match Stabilization.fleet_time_to_stabilize stab with
+        | Some v -> fleet_tts := float_of_int v :: !fleet_tts
+        | None -> ())
+      seeds;
+    let shard_s = Stats.summarize (Array.of_list !shard_tts) in
+    let fleet_s = Stats.summarize (Array.of_list !fleet_tts) in
+    [
+      fmt "%d/%d shards hit" hit shards;
+      fmt "%d" !gets;
+      fmt "%d" !aborts;
+      fmt "%d/%d" !stabilized (shards * List.length seeds);
+      (if !shard_tts = [] then "-" else fmt "%.0f / %.0f" shard_s.mean shard_s.max);
+      (if !fleet_tts = [] then "-" else fmt "%.0f / %.0f" fleet_s.mean fleet_s.max);
+    ]
+  in
+  Table.make ~id:"E23"
+    ~title:"Time-to-stabilize vs fault density: the online detector on a 16-shard Zipfian store"
+    ~header:
+      [ "fault density"; "gets"; "aborts"; "stabilized"; "shard tts mean/max"; "fleet tts mean/max" ]
+    ~notes:
+      [
+        fmt "transient heavy corruption at t=%d; detector: %d consecutive clean %d-tick windows"
+          fault_at 3 window;
+        "tts = ticks from the fault to the start of the first clean streak, per shard and fleet-wide";
+        "fleet windows are dirtied by any shard's abort, so fleet tts grows with density";
+      ]
+    [ row ~hit:1; row ~hit:4; row ~hit:8 ]
+
+(* ------------------------------------------------------------------ *)
+
 let all () =
   [
     e1_lower_bound ();
@@ -1290,6 +1360,7 @@ let all () =
     e20_partition ();
     e21_scale ();
     e22_observability ();
+    e23_time_to_stabilize ();
   ]
 
 let table_fns =
@@ -1315,6 +1386,7 @@ let table_fns =
     ("e20", e20_partition);
     ("e21", e21_scale);
     ("e22", e22_observability);
+    ("e23", e23_time_to_stabilize);
   ]
 
 let by_id id = List.assoc_opt (String.lowercase_ascii id) table_fns

@@ -91,6 +91,12 @@ val e22_observability : unit -> Table.t
     thunks are identical across rows (the dial never perturbs the
     simulation); only wall time, sink volume and ring retention move. *)
 
+val e23_time_to_stabilize : unit -> Table.t
+(** Time-to-stabilize vs fault density: transient heavy corruption of
+    1/4/8 of a 16-shard Zipfian store's shards, measured live by the
+    {!Stabilization} detector (per-shard and fleet) — blast radius in
+    recovery time rather than in space. *)
+
 val all : unit -> Table.t list
 
 val by_id : string -> (unit -> Table.t) option

@@ -16,3 +16,23 @@ val page : ?title:string -> ?preamble:string -> Table.t list -> string
     before the first table (escape user data yourself). *)
 
 val write_file : path:string -> ?title:string -> ?preamble:string -> Table.t list -> unit
+
+(** {1 Streaming-run report}
+
+    [sbftreg report --html] renders a metrics artifact's streaming
+    blocks ([series], [stabilization_online], [alerts]) into a
+    standalone page: per-shard sparklines (inline SVG, hand-rolled
+    like everything else here), red stabilization markers, and the
+    alert log. *)
+
+val sparkline_svg :
+  ?width:int -> ?height:int -> ?hi:float -> ?marker:int -> (int * float option) list -> string
+(** Bars for per-window values keyed by virtual time ([None] = empty
+    window renders as a gap); [marker] draws a vertical line at a
+    virtual time (the stabilization point).  [hi] pins the y scale
+    (defaults to the observed maximum). *)
+
+val series_page : ?title:string -> Sbft_sim.Json.t -> string
+(** A complete standalone document from a [--metrics-out] artifact. *)
+
+val write_series_report : path:string -> ?title:string -> Sbft_sim.Json.t -> unit

@@ -54,6 +54,17 @@ let evaluate_shard ~target m ~shard =
   { shard; puts; gets; aborts; put; get; worst_p99; latency_ok; budget_used; budget_ok;
     ok = latency_ok && budget_ok }
 
+(* Windowed burn rate for the streaming alert rules: the multiple of
+   the error budget one window's abort fraction is consuming.  1.0 =
+   burning exactly at budget; the slo_burn rule fires above a
+   configured multiple of it. *)
+let window_burn ~target ~ops ~aborts =
+  if ops <= 0 then 0.0
+  else
+    let bad = float_of_int aborts /. float_of_int ops in
+    if target.error_budget <= 0.0 then (if bad = 0.0 then 0.0 else Float.infinity)
+    else bad /. target.error_budget
+
 let evaluate ?(target = default_target) ~shards m =
   let rows = List.init shards (fun shard -> evaluate_shard ~target m ~shard) in
   { target; shards = rows; ok = List.for_all (fun (s : shard) -> s.ok) rows }

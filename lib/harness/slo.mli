@@ -43,6 +43,13 @@ type shard = {
 
 type report = { target : target; shards : shard list; ok : bool }
 
+val window_burn : target:target -> ops:int -> aborts:int -> float
+(** Burn rate of one tumbling window: the window's bad fraction as a
+    multiple of the error budget (1.0 = burning exactly at budget,
+    [infinity] when the budget is zero and aborts occurred, 0 when the
+    window is empty).  The streaming [slo_burn] alert rule fires on
+    this. *)
+
 val evaluate : ?target:target -> shards:int -> Sbft_sim.Metrics.t -> report
 (** Evaluate every shard id in [0, shards); shards that served no
     operations report zeroes and pass trivially. *)

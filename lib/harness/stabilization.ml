@@ -1,0 +1,139 @@
+module Engine = Sbft_sim.Engine
+module Metrics = Sbft_sim.Metrics
+module Names = Sbft_sim.Metric_names
+module Series = Sbft_sim.Series
+module Store = Sbft_kv.Store
+module J = Sbft_sim.Json
+
+(* Online pseudo-stabilization detection over a running kv store: one
+   Series.Detector per shard plus one fleet-wide detector, all fed from
+   the store's completion observer.  "Dirty" is an aborted read — the
+   transitory-phase answer the paper's stabilization curve counts.
+   Everything here keys off op completions and the virtual clock, never
+   the trace, so the verdicts are identical at every trace level and
+   under replay (the acceptance property the tests pin). *)
+
+type t = {
+  store : Store.t;
+  window : int;
+  k : int;
+  after : int;
+  per_shard : Series.Detector.t array;
+  fleet : Series.Detector.t;
+  mutable finalized : bool;
+}
+
+let attach ?(k = 3) ~window ~after store =
+  if window < 1 then invalid_arg "Stabilization.attach: window must be positive";
+  let shards = Store.shard_count store in
+  let t =
+    {
+      store;
+      window;
+      k;
+      after;
+      per_shard =
+        Array.init shards (fun _ -> Series.Detector.create ~k ~window ~after ());
+      fleet = Series.Detector.create ~k ~window ~after ();
+    finalized = false;
+    }
+  in
+  Store.add_observer store (fun ~shard ~time ~ok ~ticks:_ ->
+      let dirty = not ok in
+      Series.Detector.observe t.per_shard.(shard) ~time ~dirty;
+      (* The fleet detector sees every completion: a window is clean
+         fleet-wide only when no shard aborted in it. *)
+      Series.Detector.observe t.fleet ~time ~dirty);
+  t
+
+let window t = t.window
+
+let k t = t.k
+
+let after t = t.after
+
+let shards t = Array.length t.per_shard
+
+let shard_detector t i = t.per_shard.(i)
+
+let fleet_detector t = t.fleet
+
+let shard_state t i = Series.Detector.state t.per_shard.(i)
+
+let time_to_stabilize t i = Series.Detector.time_to_stabilize t.per_shard.(i)
+
+let fleet_time_to_stabilize t = Series.Detector.time_to_stabilize t.fleet
+
+(* End of run: count the fully elapsed silence as clean windows, then
+   publish the verdicts as first-class metrics so they flow into the
+   artifact, the trends DB and the metric-trends gate. *)
+let finalize t ~now =
+  if not t.finalized then begin
+    t.finalized <- true;
+    let m = Engine.metrics (Store.engine t.store) in
+    Array.iteri
+      (fun shard det ->
+        ignore (Series.Detector.finalize det ~now);
+        match Series.Detector.time_to_stabilize det with
+        | Some ticks ->
+            Metrics.incr m Names.stab_shards_stabilized;
+            let v = float_of_int ticks in
+            Metrics.record m Names.stab_time_to_stabilize_ticks v;
+            Metrics.record m (Names.stab_shard ~shard) v
+        | None -> ())
+      t.per_shard;
+    ignore (Series.Detector.finalize t.fleet ~now);
+    match Series.Detector.time_to_stabilize t.fleet with
+    | Some ticks ->
+        Metrics.record m Names.stab_fleet_time_to_stabilize_ticks (float_of_int ticks)
+    | None -> ()
+  end
+
+let stabilized_shards t =
+  Array.fold_left
+    (fun acc det ->
+      match Series.Detector.state det with
+      | Series.Detector.Stabilized _ -> acc + 1
+      | Series.Detector.Pending -> acc)
+    0 t.per_shard
+
+let to_json t =
+  J.Obj
+    [
+      ("window", J.Int t.window);
+      ("k", J.Int t.k);
+      ("after", J.Int t.after);
+      ("stabilized_shards", J.Int (stabilized_shards t));
+      ("fleet", Series.Detector.to_json t.fleet);
+      ( "shards",
+        J.List
+          (Array.to_list
+             (Array.mapi
+                (fun shard det ->
+                  match Series.Detector.to_json det with
+                  | J.Obj fields -> J.Obj (("shard", J.Int shard) :: fields)
+                  | other -> other)
+                t.per_shard)) );
+    ]
+
+let pp fmt t =
+  let state_str det =
+    match Series.Detector.state det with
+    | Series.Detector.Pending -> "pending"
+    | Series.Detector.Stabilized at -> Printf.sprintf "stable@%d" at
+  in
+  let tts det =
+    match Series.Detector.time_to_stabilize det with
+    | Some ticks -> string_of_int ticks
+    | None -> "-"
+  in
+  Format.fprintf fmt "@[<v>stabilization: window=%d k=%d after=%d (%d/%d shards stable)@,"
+    t.window t.k t.after (stabilized_shards t) (shards t);
+  Format.fprintf fmt "  %5s %12s %8s %6s@," "shard" "state" "t-t-s" "dirty";
+  Array.iteri
+    (fun shard det ->
+      Format.fprintf fmt "  %5d %12s %8s %6d@," shard (state_str det) (tts det)
+        (Series.Detector.dirty_windows det))
+    t.per_shard;
+  Format.fprintf fmt "  %5s %12s %8s %6d@]" "fleet" (state_str t.fleet) (tts t.fleet)
+    (Series.Detector.dirty_windows t.fleet)

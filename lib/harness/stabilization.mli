@@ -1,0 +1,55 @@
+(** Online pseudo-stabilization detection for a running kv store.
+
+    The paper's central claim is a stabilization {e curve}: after the
+    last transient fault, violations decay to zero.  This module
+    watches that curve while the run executes — one
+    {!Sbft_sim.Series.Detector} per shard plus a fleet-wide one, fed
+    from the store's completion observer with "dirty" = aborted read —
+    and declares each shard's pseudo-stabilization point as soon as
+    [k] consecutive tumbling windows after the last fault are clean.
+
+    Detection consumes op completions and the virtual clock only
+    (never the trace), so the verdicts are bit-identical across trace
+    levels and under replay. *)
+
+type t
+
+val attach : ?k:int -> window:int -> after:int -> Sbft_kv.Store.t -> t
+(** [attach ~window ~after store] registers a completion observer on
+    [store].  [after] is the virtual time of the last planned fault (0
+    when none): the time-to-stabilize clock starts there.  [k]
+    (default 3) is the clean-window streak that declares
+    stabilization.  Attach {e before} issuing operations. *)
+
+val window : t -> int
+
+val k : t -> int
+
+val after : t -> int
+
+val shards : t -> int
+
+val finalize : t -> now:int -> unit
+(** Count the fully elapsed trailing silence as clean windows, then
+    record the verdicts into the engine metrics:
+    [stab.shards_stabilized], per-shard samples in
+    [stab.time_to_stabilize_ticks] and [stab.shard.<i>], and the fleet
+    value in [stab.fleet.time_to_stabilize_ticks].  Idempotent. *)
+
+val shard_detector : t -> int -> Sbft_sim.Series.Detector.t
+
+val fleet_detector : t -> Sbft_sim.Series.Detector.t
+
+val shard_state : t -> int -> Sbft_sim.Series.Detector.state
+
+val time_to_stabilize : t -> int -> int option
+(** Per-shard, virtual ticks from [after] to the start of the clean
+    suffix; [None] while pending. *)
+
+val fleet_time_to_stabilize : t -> int option
+
+val stabilized_shards : t -> int
+
+val to_json : t -> Sbft_sim.Json.t
+
+val pp : Format.formatter -> t -> unit

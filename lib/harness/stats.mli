@@ -43,6 +43,13 @@ val hist_percentile : bounds:float array -> counts:int array -> float -> float
 (** [fst (hist_percentile_sat ...)]: the clamped value alone, for
     callers that have a separate channel for the saturation flag. *)
 
+val hist_percentile_resolved : Sbft_sim.Metrics.hist_snapshot -> float -> float * bool
+(** Like {!hist_percentile_sat} but with the histogram's streaming
+    quantile digest as the saturation fallback: an in-range percentile
+    is the exact bucket answer ([false]), a clamped one is replaced by
+    the digest's estimate (still [true] — it is an estimate, not a
+    bucket-exact rank). *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 val of_ints : int list -> float array

@@ -58,3 +58,112 @@ let run_mixed ?(spec = default) ?(max_events = 20_000_000) ~writers ~readers (re
 
 let run ?spec ?max_events (reg : Register.t) =
   run_mixed ?spec ?max_events ~writers:reg.writer_clients ~readers:reg.reader_clients reg
+
+(* -- kv store driver ------------------------------------------------ *)
+
+module Store = Sbft_kv.Store
+
+type kv_spec = {
+  kv_ops_per_client : int;
+  kv_write_ratio : float;
+  kv_think_max : int;
+  kv_value_base : int;
+  keys : int;
+  zipf_s : float;
+}
+
+let default_kv =
+  {
+    kv_ops_per_client = 50;
+    kv_write_ratio = 0.3;
+    kv_think_max = 20;
+    kv_value_base = 1000;
+    keys = 64;
+    zipf_s = 1.1;
+  }
+
+type kv_outcome = {
+  issued_puts : int;
+  issued_gets : int;
+  aborted_gets : int;
+  kv_wall_ticks : int;
+  kv_livelocked : bool;
+}
+
+(* Zipfian(s) over key ranks 0..keys-1: weight(r) = 1/(r+1)^s,
+   precomputed as a normalized CDF sampled by binary search — the
+   standard hot-key skew (rank 0 is the hottest key).  [zipf_s = 0]
+   degenerates to uniform. *)
+let zipf_cdf ~keys ~s =
+  let w = Array.init keys (fun r -> 1.0 /. Float.pow (float_of_int (r + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let zipf_pick rng cdf =
+  let u = Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let run_kv ?(spec = default_kv) ?(max_events = 50_000_000) (store : Store.t) =
+  if spec.keys < 1 then invalid_arg "Workload.run_kv: need at least one key";
+  let engine = Store.engine store in
+  let rng = Rng.split (Engine.rng engine) in
+  let cdf = zipf_cdf ~keys:spec.keys ~s:(Float.max 0.0 spec.zipf_s) in
+  let key_names = Array.init spec.keys (fun r -> Printf.sprintf "key-%d" r) in
+  let next_value = ref spec.kv_value_base in
+  let issued_puts = ref 0 and issued_gets = ref 0 and aborted_gets = ref 0 in
+  let start = Engine.now engine in
+  let clients = Store.client_count store in
+  let rec step client remaining =
+    if remaining > 0 then begin
+      let key = key_names.(zipf_pick rng cdf) in
+      let continue () =
+        Engine.schedule engine
+          ~delay:(Rng.int_in rng 1 (max 1 spec.kv_think_max))
+          (fun () -> step client (remaining - 1))
+      in
+      if Rng.chance rng spec.kv_write_ratio then begin
+        let value = !next_value in
+        incr next_value;
+        incr issued_puts;
+        Store.put store ~client ~key ~value ~k:continue ()
+      end
+      else begin
+        incr issued_gets;
+        Store.get store ~client ~key
+          ~k:(fun outcome ->
+            (match outcome with
+            | Sbft_spec.History.Abort -> incr aborted_gets
+            | Sbft_spec.History.Value _ | Sbft_spec.History.Incomplete -> ());
+            continue ())
+          ()
+      end
+    end
+  in
+  for client = 0 to clients - 1 do
+    Engine.schedule engine
+      ~delay:(Rng.int_in rng 1 (max 1 spec.kv_think_max))
+      (fun () -> step client spec.kv_ops_per_client)
+  done;
+  let kv_livelocked =
+    try
+      Store.quiesce ~max_events store;
+      false
+    with Engine.Budget_exhausted -> true
+  in
+  {
+    issued_puts = !issued_puts;
+    issued_gets = !issued_gets;
+    aborted_gets = !aborted_gets;
+    kv_wall_ticks = Engine.now engine - start;
+    kv_livelocked;
+  }

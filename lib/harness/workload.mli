@@ -35,3 +35,36 @@ val run_mixed :
   ?spec:spec -> ?max_events:int -> writers:int list -> readers:int list -> Register.t -> outcome
 (** Like {!run} but with explicit role assignment (e.g. one writer and
     many readers for the SWMR experiments). *)
+
+(** {1 KV store driver}
+
+    The same closed-loop client population pointed at the sharded
+    store, with Zipfian hot-key skew: key ranks are drawn from a
+    precomputed Zipf([zipf_s]) CDF, so a few hot keys (and therefore a
+    few hot shards) absorb most of the traffic — the skew every real
+    cloud workload shows, and what makes the per-shard series worth
+    watching. *)
+
+type kv_spec = {
+  kv_ops_per_client : int;
+  kv_write_ratio : float;  (** probability an op is a put *)
+  kv_think_max : int;  (** think time uniform in [1, kv_think_max] ticks *)
+  kv_value_base : int;
+  keys : int;  (** key-space size; keys are ["key-<rank>"] *)
+  zipf_s : float;  (** skew exponent: 0 = uniform, ~1 = classic Zipf *)
+}
+
+val default_kv : kv_spec
+(** 50 ops/client, 0.3 put ratio, think ≤ 20, 64 keys, s = 1.1. *)
+
+type kv_outcome = {
+  issued_puts : int;
+  issued_gets : int;
+  aborted_gets : int;  (** gets answering [Abort] (still complete) *)
+  kv_wall_ticks : int;
+  kv_livelocked : bool;
+}
+
+val run_kv : ?spec:kv_spec -> ?max_events:int -> Sbft_kv.Store.t -> kv_outcome
+(** Drive every store client to its quota (or budget exhaustion).
+    Deterministic given the store's engine seed and [spec]. *)

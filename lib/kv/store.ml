@@ -3,11 +3,16 @@ module Metrics = Sbft_sim.Metrics
 module Trace = Sbft_sim.Trace
 module Event = Sbft_sim.Event
 module Names = Sbft_sim.Metric_names
+module Series = Sbft_sim.Series
 module System = Sbft_core.System
 module Config = Sbft_core.Config
 module History = Sbft_spec.History
 
 type outcome = History.read_outcome
+
+type shard_series = { flow : Series.t; lat : Series.t }
+
+type observer = shard:int -> time:int -> ok:bool -> ticks:int -> unit
 
 type t = {
   engine : Engine.t;
@@ -19,15 +24,36 @@ type t = {
   clients : int;
   systems : (string, System.t) Hashtbl.t; (* key -> its register deployment *)
   shard_hooks : (int, (System.t -> unit) list ref) Hashtbl.t;
+  series : shard_series array; (* empty when streaming series are off *)
+  mutable observers : observer list;
   mutable ops : int;
 }
 
 let create ?(seed = 42L) ?(delay = Sbft_channel.Delay.uniform ~max:10) ?trace_level ?sample
-    ?trace_capacity ?transport ~shards ~n ~f ~clients () =
+    ?trace_capacity ?transport ?series_window ?(series_keep = 64) ~shards ~n ~f ~clients () =
   if shards < 1 then invalid_arg "Store.create: need at least one shard";
   (* Validate the per-shard register parameters once, eagerly. *)
   ignore (Config.make ~n ~f ~clients ());
   let engine = Engine.create ?trace_level ?sample ?trace_capacity ~seed () in
+  let series =
+    match series_window with
+    | None -> [||]
+    | Some w ->
+        if w < 1 then invalid_arg "Store.create: series_window must be positive";
+        (* Eager allocation: a shard that never completes an op still
+           contributes (empty = clean) windows to the fleet rollup. *)
+        Array.init shards (fun shard ->
+            {
+              flow =
+                Series.create ~keep:series_keep ~window:w
+                  ~name:(Names.kv_shard ~shard Names.Shard_flow)
+                  ();
+              lat =
+                Series.create ~keep:series_keep ~quantiles:true ~window:w
+                  ~name:(Names.kv_shard ~shard Names.Shard_op_ticks)
+                  ();
+            })
+  in
   {
     engine;
     delay;
@@ -38,10 +64,14 @@ let create ?(seed = 42L) ?(delay = Sbft_channel.Delay.uniform ~max:10) ?trace_le
     clients;
     systems = Hashtbl.create 32;
     shard_hooks = Hashtbl.create 8;
+    series;
+    observers = [];
     ops = 0;
   }
 
 let shard_count t = t.shards
+
+let client_count t = t.clients
 
 (* FNV-1a (63-bit), folded into the shard count. *)
 let shard_of_key t key =
@@ -92,6 +122,37 @@ let tag_shard t ~shard sid =
   if Trace.enabled tr then
     Trace.emit tr ~time:(Engine.now t.engine) (Event.Span_tag { span = sid; tag = "shard"; v = shard })
 
+(* Streaming hook: every op completion feeds the shard's flow series
+   (1.0 = abort, 0.0 = success — so a window's count is its op volume
+   and its mean is its abort rate), its latency series, and any
+   registered observer (the harness stabilization detector).  Driven by
+   completions and the virtual clock only, never the trace, so the
+   numbers are identical across trace levels and under replay. *)
+let completed t ~shard ~ok ~ticks =
+  let time = Engine.now t.engine in
+  if Array.length t.series > 0 then begin
+    let s = t.series.(shard) in
+    Series.observe s.flow ~time (if ok then 0.0 else 1.0);
+    if ok then Series.observe s.lat ~time (float_of_int ticks)
+  end;
+  List.iter (fun f -> f ~shard ~time ~ok ~ticks) t.observers
+
+let add_observer t f = t.observers <- t.observers @ [ f ]
+
+let series_enabled t = Array.length t.series > 0
+
+let shard_series t shard =
+  if Array.length t.series = 0 then None else Some t.series.(shard)
+
+let all_series t = Array.to_list t.series
+
+let roll_series_to t ~time =
+  Array.iter
+    (fun s ->
+      Series.roll_to s.flow ~time;
+      Series.roll_to s.lat ~time)
+    t.series
+
 let put t ~client ~key ~value ?(k = fun () -> ()) () =
   t.ops <- t.ops + 1;
   let shard = shard_of_key t key in
@@ -100,10 +161,10 @@ let put t ~client ~key ~value ?(k = fun () -> ()) () =
   System.write (system_for t key) ~client:(endpoint t client) ~value
     ~span_k:(fun sid -> tag_shard t ~shard sid)
     ~k:(fun () ->
+      let ticks = Engine.now t.engine - started in
       Metrics.incr m (Names.kv_shard ~shard Names.Shard_puts);
-      Metrics.record m
-        (Names.kv_shard ~shard Names.Shard_put_ticks)
-        (float_of_int (Engine.now t.engine - started));
+      Metrics.record m (Names.kv_shard ~shard Names.Shard_put_ticks) (float_of_int ticks);
+      completed t ~shard ~ok:true ~ticks;
       k ())
     ()
 
@@ -115,13 +176,15 @@ let get t ~client ~key ?(k = fun _ -> ()) () =
   System.read (system_for t key) ~client:(endpoint t client)
     ~span_k:(fun sid -> tag_shard t ~shard sid)
     ~k:(fun outcome ->
+      let ticks = Engine.now t.engine - started in
       (match outcome with
       | History.Value _ ->
           Metrics.incr m (Names.kv_shard ~shard Names.Shard_gets);
-          Metrics.record m
-            (Names.kv_shard ~shard Names.Shard_get_ticks)
-            (float_of_int (Engine.now t.engine - started))
-      | History.Abort -> Metrics.incr m (Names.kv_shard ~shard Names.Shard_aborts)
+          Metrics.record m (Names.kv_shard ~shard Names.Shard_get_ticks) (float_of_int ticks);
+          completed t ~shard ~ok:true ~ticks
+      | History.Abort ->
+          Metrics.incr m (Names.kv_shard ~shard Names.Shard_aborts);
+          completed t ~shard ~ok:false ~ticks
       | History.Incomplete -> ());
       k outcome)
     ()

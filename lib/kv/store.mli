@@ -30,6 +30,17 @@ type t
 
 type outcome = Sbft_spec.History.read_outcome
 
+type shard_series = {
+  flow : Sbft_sim.Series.t;
+      (** one observation per completed op: 1.0 for an abort, 0.0 for a
+          success — window count = op volume, window mean = abort rate *)
+  lat : Sbft_sim.Series.t;
+      (** successful-op latency in virtual ticks, per-window quantile
+          digest armed *)
+}
+
+type observer = shard:int -> time:int -> ok:bool -> ticks:int -> unit
+
 val create :
   ?seed:int64 ->
   ?delay:Sbft_channel.Delay.t ->
@@ -37,6 +48,8 @@ val create :
   ?sample:float ->
   ?trace_capacity:int ->
   ?transport:Sbft_channel.Network.transport ->
+  ?series_window:int ->
+  ?series_keep:int ->
   shards:int ->
   n:int ->
   f:int ->
@@ -48,9 +61,16 @@ val create :
     [trace_level]/[sample]/[trace_capacity] configure the shared
     engine's trace (see {!Sbft_sim.Engine.create}); the store's own
     per-shard metrics are always on — counters and histograms are part
-    of the engine metrics, not the trace. *)
+    of the engine metrics, not the trace.
+
+    [series_window] switches on the streaming per-shard series
+    ({!shard_series}): tumbling windows of that many virtual ticks,
+    keeping the last [series_keep] (default 64) closed windows per
+    shard.  Off by default — the per-op cost is small but not zero. *)
 
 val shard_count : t -> int
+
+val client_count : t -> int
 
 val shard_of_key : t -> string -> int
 (** The hash partition (FNV-1a mod shards); exposed for tests and
@@ -66,6 +86,30 @@ val put : t -> client:int -> key:string -> value:int -> ?k:(unit -> unit) -> uni
 val get : t -> client:int -> key:string -> ?k:(outcome -> unit) -> unit -> unit
 
 val quiesce : ?max_events:int -> t -> unit
+
+(** {2 Streaming observability}
+
+    The store is the layer that knows each operation's shard, so it is
+    where completions fan out: into the per-shard series (when
+    [series_window] was given) and into registered observers.  Both are
+    driven by op completions and the virtual clock — never the trace —
+    so they are bit-identical across trace levels and under replay. *)
+
+val add_observer : t -> observer -> unit
+(** Called on every put/get completion (aborted gets included,
+    [Incomplete] excluded), in registration order. *)
+
+val series_enabled : t -> bool
+
+val shard_series : t -> int -> shard_series option
+(** [None] when the store was created without [series_window]. *)
+
+val all_series : t -> shard_series list
+(** Every shard's series in shard order; [[]] when series are off. *)
+
+val roll_series_to : t -> time:int -> unit
+(** Close every window ending at or before [time] on all shards — the
+    end-of-run flush before reading {!shard_series} back. *)
 
 val apply_to_shard : t -> shard:int -> (Sbft_core.System.t -> unit) -> unit
 (** Correlated fault injection: run the hook on every key register the

@@ -74,6 +74,7 @@ let key_of_event (ev : Event.t) =
       (Lazy.force occ_keys).(((sting land 7) * 36) + (bucket hist_len * 6) + bucket readers)
   | Event.Note _ -> "note"
   | Event.Span_tag { tag; _ } -> intern1 "tag:" tag
+  | Event.Alert { rule; _ } -> intern1 "alert:" rule
 
 let bigrams = Hashtbl.create 1024 (* (prev, key) -> "prev>key" *)
 

@@ -22,6 +22,7 @@ type t =
   | Server_state of { server : int; value : int; ts : string; sting : int; hist_len : int; readers : int }
   | Note of { detail : string }
   | Span_tag of { span : int; tag : string; v : int }
+  | Alert of { shard : int; rule : string; severity : string; detail : string; window : int }
 
 let no_span = -1
 
@@ -33,7 +34,8 @@ let op_id = function
   | Violation { op_id; _ } ->
       Some op_id
   | Msg_sent _ | Msg_delivered _ | Msg_dropped _ | Retransmit _ | Ack_roundtrip _
-  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Server_state _ | Note _ | Span_tag _ ->
+  | Label_adopted _ | Epoch_changed _ | Fault_injected _ | Server_state _ | Note _ | Span_tag _
+  | Alert _ ->
       None
 
 let span = function
@@ -47,7 +49,7 @@ let span = function
   | Span_tag { span; _ } ->
       span
   | Retransmit _ | Ack_roundtrip _ | Label_adopted _ | Epoch_changed _ | Fault_injected _
-  | Violation _ | Server_state _ | Note _ ->
+  | Violation _ | Server_state _ | Note _ | Alert _ ->
       no_span
 
 let endpoints = function
@@ -61,7 +63,9 @@ let endpoints = function
   | Label_adopted { server; writer; _ } -> [ server; writer ]
   | Epoch_changed { node; _ } -> [ node ]
   | Server_state { server; _ } -> [ server ]
-  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _ -> []
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _
+  | Alert _ ->
+      []
 
 let location = function
   | Msg_sent { src; _ } -> Some src
@@ -74,7 +78,9 @@ let location = function
   | Label_adopted { server; _ } -> Some server
   | Epoch_changed { node; _ } -> Some node
   | Server_state { server; _ } -> Some server
-  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _ -> None
+  | Retransmit _ | Ack_roundtrip _ | Fault_injected _ | Violation _ | Note _ | Span_tag _
+  | Alert _ ->
+      None
 
 let name = function
   | Msg_sent _ -> "msg_sent"
@@ -93,6 +99,7 @@ let name = function
   | Server_state _ -> "server_state"
   | Note _ -> "note"
   | Span_tag _ -> "span_tag"
+  | Alert _ -> "alert"
 
 (* Dense constructor indexing for allocation-free per-kind counters
    (the profiler's event attribution).  Must stay in sync with [kinds]
@@ -114,6 +121,7 @@ let index = function
   | Server_state _ -> 13
   | Note _ -> 14
   | Span_tag _ -> 15
+  | Alert _ -> 16
 
 let kinds =
   [|
@@ -133,6 +141,7 @@ let kinds =
     "server_state";
     "note";
     "span_tag";
+    "alert";
   |]
 
 let to_json ~time ev =
@@ -188,6 +197,15 @@ let to_json ~time ev =
         ]
   | Note { detail } -> base [ ("detail", s detail) ]
   | Span_tag { span; tag; v } -> base [ ("span", i span); ("tag", s tag); ("v", i v) ]
+  | Alert { shard; rule; severity; detail; window } ->
+      base
+        [
+          ("shard", i shard);
+          ("rule", s rule);
+          ("severity", s severity);
+          ("detail", s detail);
+          ("window", i window);
+        ]
 
 let pp fmt = function
   | Msg_sent { src; dst; kind; _ } -> Format.fprintf fmt "send %d->%d %s" src dst kind
@@ -216,6 +234,9 @@ let pp fmt = function
         readers
   | Note { detail } -> Format.pp_print_string fmt detail
   | Span_tag { span; tag; v } -> Format.fprintf fmt "span %d %s=%d" span tag v
+  | Alert { shard; rule; severity; detail; window } ->
+      Format.fprintf fmt "ALERT [%s] shard %d %s: %s (window %d)" severity shard rule detail
+        window
 
 let to_string ev = Format.asprintf "%a" pp ev
 
@@ -326,6 +347,13 @@ let of_json j =
         let* tag = str "tag" in
         let* v = int "v" in
         Ok (Span_tag { span; tag; v })
+    | "alert" ->
+        let* shard = int "shard" in
+        let* rule = str "rule" in
+        let* severity = str "severity" in
+        let* detail = str "detail" in
+        let* window = int "window" in
+        Ok (Alert { shard; rule; severity; detail; window })
     | other -> Error (Printf.sprintf "unknown event name %S" other)
   in
   Ok (time, event)

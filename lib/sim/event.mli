@@ -65,6 +65,11 @@ type t =
       (** attach an integer attribute to a span from a layer that knows
           something the client automaton does not — e.g. the kv store
           tags each operation's span with its shard ([tag = "shard"]) *)
+  | Alert of { shard : int; rule : string; severity : string; detail : string; window : int }
+      (** an anomaly rule fired while the run executed: [rule] is the
+          rule name (slo_burn / abort_spike / divergence), [shard] the
+          shard it fired on (-1 for fleet-wide), [window] the tumbling
+          window index the evidence came from *)
 
 val no_span : int
 (** The sentinel span id (-1) of unattributed events. *)

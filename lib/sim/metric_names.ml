@@ -32,6 +32,61 @@ let server_label_rejections = "server.label_rejections"
 
 let faults_injected = "faults.injected"
 
+(* -- streaming observability (series / detector / alerts) ----------- *)
+
+let telemetry_occupancy = "telemetry.occupancy"
+
+let stab_shards_stabilized = "stab.shards_stabilized"
+
+let stab_time_to_stabilize_ticks = "stab.time_to_stabilize_ticks"
+
+let stab_fleet_time_to_stabilize_ticks = "stab.fleet.time_to_stabilize_ticks"
+
+let stab_shard_prefix = "stab.shard."
+(* Suffixed with the shard index: stab.shard.<i> records that shard's
+   online time-to-stabilize (histogram, one sample per run). *)
+
+let alerts_prefix = "alerts."
+(* Suffixed with the rule name: alerts.slo_burn / alerts.abort_spike /
+   alerts.divergence count rising-edge firings of each anomaly rule. *)
+
+let alert_rule_slo_burn = "slo_burn"
+
+let alert_rule_abort_spike = "abort_spike"
+
+let alert_rule_divergence = "divergence"
+
+let alerts rule = alerts_prefix ^ rule
+
+let stab_shard_memo_cap = 1024
+
+let stab_shard_memo : string array ref = ref [||]
+
+let mint_stab_shard shard = Printf.sprintf "%s%d" stab_shard_prefix shard
+
+let stab_shard ~shard =
+  if shard < 0 || shard >= stab_shard_memo_cap then mint_stab_shard shard
+  else begin
+    let row = !stab_shard_memo in
+    let row =
+      if shard < Array.length row then row
+      else begin
+        let cap = min stab_shard_memo_cap (max 16 (max ((shard + 1) * 2) (Array.length row * 2))) in
+        let bigger = Array.make cap "" in
+        Array.blit row 0 bigger 0 (Array.length row);
+        stab_shard_memo := bigger;
+        bigger
+      end
+    in
+    let name = row.(shard) in
+    if String.length name > 0 then name
+    else begin
+      let name = mint_stab_shard shard in
+      row.(shard) <- name;
+      name
+    end
+  end
+
 (* -- histograms (virtual-tick latencies) --------------------------- *)
 
 let write_collect_ticks = "op.write.collect_ticks"
@@ -60,7 +115,14 @@ let dl_ack_rtt_ticks = "dl.ack_rtt_ticks"
 
 let kv_shard_prefix = "kv.shard."
 
-type shard_field = Shard_puts | Shard_gets | Shard_aborts | Shard_put_ticks | Shard_get_ticks
+type shard_field =
+  | Shard_puts
+  | Shard_gets
+  | Shard_aborts
+  | Shard_put_ticks
+  | Shard_get_ticks
+  | Shard_flow
+  | Shard_op_ticks
 
 let shard_field_name = function
   | Shard_puts -> "puts"
@@ -68,8 +130,19 @@ let shard_field_name = function
   | Shard_aborts -> "aborts"
   | Shard_put_ticks -> "put_ticks"
   | Shard_get_ticks -> "get_ticks"
+  | Shard_flow -> "flow"
+  | Shard_op_ticks -> "op_ticks"
 
-let shard_fields = [ Shard_puts; Shard_gets; Shard_aborts; Shard_put_ticks; Shard_get_ticks ]
+let shard_fields =
+  [
+    Shard_puts;
+    Shard_gets;
+    Shard_aborts;
+    Shard_put_ticks;
+    Shard_get_ticks;
+    Shard_flow;
+    Shard_op_ticks;
+  ]
 
 let shard_field_index = function
   | Shard_puts -> 0
@@ -77,6 +150,8 @@ let shard_field_index = function
   | Shard_aborts -> 2
   | Shard_put_ticks -> 3
   | Shard_get_ticks -> 4
+  | Shard_flow -> 5
+  | Shard_op_ticks -> 6
 
 (* The memo is bounded: one dense array per field, grown geometrically
    up to [kv_shard_memo_cap] shards.  A store with more shards than the
@@ -137,6 +212,29 @@ let all =
     (server_label_adoptions, Counter, "WRITE requests whose timestamp dominated (ACK)");
     (server_label_rejections, Counter, "WRITE requests adopted on NACK (Figure 1b)");
     (faults_injected, Counter, "fault-plan events fired");
+    ( telemetry_occupancy,
+      Histogram,
+      "streaming series of label-space occupancy snapshots (bounded windowed \
+       mirror of the telemetry snapshot list)" );
+    (stab_shards_stabilized, Counter, "shards whose online detector declared stabilization");
+    ( stab_time_to_stabilize_ticks,
+      Histogram,
+      "per-shard online time-to-stabilize samples (virtual ticks from the last \
+       fault-plan event to the start of the clean window suffix)" );
+    ( stab_fleet_time_to_stabilize_ticks,
+      Histogram,
+      "fleet-wide online time-to-stabilize (max over shards' clean-suffix starts)" );
+    ( stab_shard_prefix,
+      Prefix,
+      "per-shard time-to-stabilize, stab.shard.<i>; minted only by \
+       Metric_names.stab_shard" );
+    ( alerts_prefix,
+      Prefix,
+      "rising-edge firings per anomaly rule, alerts.<rule> with rule one of \
+       slo_burn (window error budget burn above threshold), abort_spike \
+       (per-shard abort rate spiking over its trailing baseline), divergence \
+       (shard abort rate diverging from the fleet median); minted only by \
+       Metric_names.alerts" );
     (write_collect_ticks, Histogram, "write phase 1: GET_TS to timestamp quorum");
     (write_commit_ticks, Histogram, "write phase 2: WRITE broadcast to ack decision");
     (write_total_ticks, Histogram, "write invocation to response");
@@ -149,7 +247,9 @@ let all =
       Prefix,
       "per-shard KV metrics, kv.shard.<i>.<field> with field one of puts/gets \
        (completed operations), aborts (reads that aborted), put_ticks/get_ticks \
-       (latency histograms); minted only by Metric_names.kv_shard" );
+       (latency histograms), flow/op_ticks (streaming series: per-window op \
+       flow with abort fraction, and op latency with quantile digest); minted \
+       only by Metric_names.kv_shard" );
   ]
 
 let mem name =

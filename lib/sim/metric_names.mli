@@ -34,6 +34,40 @@ val server_label_rejections : string
 
 val faults_injected : string
 
+(** {1 Streaming observability}
+
+    Names for the series/detector/alert layer (PR 8).  The stabilization
+    names carry the online detector's verdicts; the alert names count
+    rising-edge rule firings. *)
+
+val telemetry_occupancy : string
+
+val stab_shards_stabilized : string
+
+val stab_time_to_stabilize_ticks : string
+
+val stab_fleet_time_to_stabilize_ticks : string
+
+val stab_shard_prefix : string
+
+val stab_shard : shard:int -> string
+(** [stab_shard ~shard] is ["stab.shard.<shard>"], memoized like
+    {!kv_shard} and bounded at {!stab_shard_memo_cap}. *)
+
+val stab_shard_memo_cap : int
+
+val alerts_prefix : string
+
+val alert_rule_slo_burn : string
+
+val alert_rule_abort_spike : string
+
+val alert_rule_divergence : string
+
+val alerts : string -> string
+(** [alerts rule] is ["alerts.<rule>"] — the counter bumped on each
+    rising-edge firing of an anomaly rule. *)
+
 (** Histogram names record virtual-tick latencies via
     {!Metrics.record}. *)
 
@@ -67,6 +101,8 @@ type shard_field =
   | Shard_aborts  (** gets that aborted *)
   | Shard_put_ticks  (** put latency histogram, virtual ticks *)
   | Shard_get_ticks  (** get latency histogram, virtual ticks *)
+  | Shard_flow  (** streaming series: ops per window, sum = aborts *)
+  | Shard_op_ticks  (** streaming series: op latency, per-window digest *)
 
 val shard_fields : shard_field list
 

@@ -7,6 +7,10 @@ type hist = {
   mutable sum : float;
   mutable hmin : float;
   mutable hmax : float;
+  hq : Series.Quantile.t;
+      (* streaming digest alongside the buckets: where a percentile
+         saturates against the last bound, the digest still has an
+         estimate (rank error ~1/cap instead of a clamp) *)
 }
 
 type hist_snapshot = {
@@ -16,6 +20,7 @@ type hist_snapshot = {
   sum : float;
   min : float;
   max : float;
+  stream : Series.Quantile.t option;
 }
 
 (* Geometric tick buckets: 1, 2, 4, … 2^19 cover everything a
@@ -87,6 +92,7 @@ let hist_slot t ?(bounds = default_bounds) name =
           sum = 0.0;
           hmin = Float.infinity;
           hmax = Float.neg_infinity;
+          hq = Series.Quantile.create ();
         }
       in
       Hashtbl.add t.histograms name h;
@@ -106,7 +112,8 @@ let record ?bounds t name v =
   h.total <- h.total + 1;
   h.sum <- h.sum +. v;
   if v < h.hmin then h.hmin <- v;
-  if v > h.hmax then h.hmax <- v
+  if v > h.hmax then h.hmax <- v;
+  Series.Quantile.add h.hq v
 
 let snapshot (h : hist) =
   {
@@ -116,6 +123,11 @@ let snapshot (h : hist) =
     sum = h.sum;
     min = (if h.total = 0 then 0.0 else h.hmin);
     max = (if h.total = 0 then 0.0 else h.hmax);
+    (* merge-with-empty yields a fresh compressed copy, so the snapshot
+       stays immutable while the live digest keeps growing *)
+    stream =
+      (if h.total = 0 then None
+       else Some (Series.Quantile.merge h.hq (Series.Quantile.create ())));
   }
 
 let histogram t name = Option.map snapshot (Hashtbl.find_opt t.histograms name)

@@ -43,6 +43,9 @@ type hist_snapshot = {
   sum : float;
   min : float;  (** 0 when empty *)
   max : float;  (** 0 when empty *)
+  stream : Series.Quantile.t option;
+      (** streaming quantile digest over the same samples — consult it
+          where a bucket percentile saturates; [None] when empty *)
 }
 
 val default_bounds : float array

@@ -12,6 +12,7 @@ let () =
       ("slo+profile", Test_slo.suite);
       ("json", Test_json.suite);
       ("observability", Test_observability.suite);
+      ("series+detector", Test_series.suite);
       ("analysis", Test_analysis.suite);
       ("spans+trends", Test_spans.suite);
       ("replay", Test_replay.suite);

@@ -172,8 +172,47 @@ let test_trends_exit_codes () =
     (List.length
        (String.split_on_char '\n' (read_file db) |> List.filter (fun l -> l <> "")))
 
+(* kv -> report pipeline and the live dashboard: a faulted kv run
+   writes a streaming artifact, report renders it to HTML, watch emits
+   frames; bad inputs exit non-zero. *)
+let test_watch_and_report_exit_codes () =
+  let m = temp "kvmetrics" ".json" in
+  check_exit "faulted kv run writes the artifact" 0
+    (sh
+       "%s kv --shards 8 --keys 32 --clients 6 --ops 25 --seed 5 --trace-level off --window 40 \
+        --fault-at 200 --fault-shards 2 --slo-p99 100000 --slo-error-budget 1 --metrics-out %s \
+        >/dev/null 2>&1"
+       exe m);
+  Alcotest.(check bool) "artifact carries the streaming blocks" true
+    (let s = read_file m in
+     replace_once s ~sub:{|"stabilization_online"|} ~by:"" <> s
+     && replace_once s ~sub:{|"series"|} ~by:"" <> s
+     && replace_once s ~sub:{|"alerts"|} ~by:"" <> s);
+  let html = temp "kvreport" ".html" in
+  check_exit "report renders the artifact" 0 (sh "%s report %s --html %s >/dev/null 2>&1" exe m html);
+  Alcotest.(check bool) "page has sparkline svg and a stabilization marker" true
+    (let s = read_file html in
+     replace_once s ~sub:"<svg" ~by:"" <> s && replace_once s ~sub:"stabiliz" ~by:"" <> s);
+  let garbage = temp "garbage" ".json" in
+  write_file garbage "not json at all {";
+  check_exit "report rejects a non-JSON artifact" 1
+    (sh "%s report %s >/dev/null 2>&1" exe garbage);
+  Alcotest.(check bool) "report rejects a missing file" true
+    (sh "%s report %s.nope >/dev/null 2>&1" exe garbage <> 0);
+  let out = temp "watch" ".txt" in
+  check_exit "watch runs a faulted session" 0
+    (sh
+       "%s watch --shards 4 --keys 16 --clients 4 --ops 15 --seed 3 --window 40 --fault-at 150 \
+        --every 0 > %s 2>&1"
+       exe out);
+  Alcotest.(check bool) "frames show shards, fleet and stabilization" true
+    (let s = read_file out in
+     replace_once s ~sub:"fleet" ~by:"" <> s && replace_once s ~sub:"stabilization" ~by:"" <> s)
+
 let suite =
   [
+    Alcotest.test_case "watch/report exit codes and artifacts" `Quick
+      test_watch_and_report_exit_codes;
     Alcotest.test_case "diff exit codes: ok / warn / fail" `Quick test_diff_exit_codes;
     Alcotest.test_case "spans exit codes and artifacts" `Quick test_spans_exit_codes;
     Alcotest.test_case "trends drift gate and run database" `Quick test_trends_exit_codes;

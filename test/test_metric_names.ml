@@ -109,9 +109,41 @@ let test_no_raw_metric_literals () =
       Alcotest.failf "raw metric-name literals (use Sbft_sim.Metric_names):\n  %s"
         (String.concat "\n  " bad)
 
+(* Every name the PR-8 streaming layer mints must be in the registry:
+   stabilization counters/histograms, per-shard detector names, alert
+   rules and the telemetry occupancy series. *)
+let test_streaming_names_registered () =
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " registered") true (Metric_names.mem n))
+    [
+      Metric_names.telemetry_occupancy;
+      Metric_names.stab_shards_stabilized;
+      Metric_names.stab_time_to_stabilize_ticks;
+      Metric_names.stab_fleet_time_to_stabilize_ticks;
+      Metric_names.stab_shard ~shard:0;
+      Metric_names.stab_shard ~shard:31;
+      Metric_names.alerts Metric_names.alert_rule_slo_burn;
+      Metric_names.alerts Metric_names.alert_rule_abort_spike;
+      Metric_names.alerts Metric_names.alert_rule_divergence;
+      Metric_names.kv_shard ~shard:2 Metric_names.Shard_flow;
+      Metric_names.kv_shard ~shard:2 Metric_names.Shard_op_ticks;
+    ];
+  Alcotest.(check string) "stab shard name shape" "stab.shard.5" (Metric_names.stab_shard ~shard:5);
+  Alcotest.(check bool) "stab shard memo hit is physical" true
+    (Metric_names.stab_shard ~shard:5 == Metric_names.stab_shard ~shard:5);
+  (* hostile indices never grow the memo *)
+  List.iter
+    (fun shard ->
+      Alcotest.(check string)
+        (Printf.sprintf "out-of-range stab shard %d" shard)
+        (Printf.sprintf "stab.shard.%d" shard)
+        (Metric_names.stab_shard ~shard))
+    [ -1; Metric_names.stab_shard_memo_cap; 10 * Metric_names.stab_shard_memo_cap ]
+
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "shard memo bounded" `Quick test_shard_memo_bounded;
+    Alcotest.test_case "streaming names registered" `Quick test_streaming_names_registered;
     Alcotest.test_case "no raw metric literals in lib/" `Quick test_no_raw_metric_literals;
   ]
