@@ -25,10 +25,10 @@ bench:
 
 # Regenerate the committed perf baseline (engine events/sec, fuzz
 # schedules/sec, checker µs per 10k-op history, tracing-overhead rows,
-# E12 micro table); CI gates `sbftreg bench --baseline BENCH_PR6.json`
-# against it.
+# series and open-loop-generator overhead rows, E12 micro table); CI
+# gates `sbftreg bench --baseline BENCH_PR9.json` against it.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR6.json
+	dune exec bench/main.exe -- --json BENCH_PR9.json
 
 # Sample run artifacts (committed reference inputs for sbftreg
 # replay/analyze/diff/spans/trends; also a smoke test of the whole

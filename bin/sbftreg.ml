@@ -1004,6 +1004,18 @@ let kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after =
   let audit = Sbft_kv.Store.check_regular ~after:fault_after kv in
   (outcome, audit)
 
+(* The open-loop twin of [kv_drive]: run the arrival engine, then close
+   the same streaming pipeline and audit. *)
+let kv_drive_open kv ~spec ~stab ~alerts ~fault_after =
+  let engine = Sbft_kv.Store.engine kv in
+  let outcome = Sbft_harness.Loadgen.run ~spec kv in
+  let now = Sbft_sim.Engine.now engine in
+  Sbft_harness.Stabilization.finalize stab ~now;
+  Option.iter (fun a -> Sbft_harness.Alerts.finalize a ~now) alerts;
+  Sbft_kv.Store.roll_series_to kv ~time:now;
+  let audit = Sbft_kv.Store.check_regular ~after:fault_after kv in
+  (outcome, audit)
+
 let kv_shards_arg = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.")
 
 let kv_n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers per shard.")
@@ -1062,6 +1074,117 @@ let kv_stab_k_arg =
     & info [ "stab-k" ] ~docv:"K"
         ~doc:"Consecutive clean windows required to declare a shard stabilized.")
 
+(* -- open-loop arrival flags ---------------------------------------- *)
+
+(* "poisson:RATE" | "const:RATE" | "ramp:A..B" — the Loadgen surface
+   syntax.  Rates are ops per virtual tick; range validation (positive,
+   representable) happens in Loadgen.validate so the CLI and the
+   library agree on the error text. *)
+let kv_arrival_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid arrival process %S (expected poisson:RATE, const:RATE or ramp:A..B)" s))
+    in
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match kind with
+        | "poisson" -> (
+            match float_of_string_opt rest with
+            | Some r -> Ok (Sbft_harness.Loadgen.Poisson r)
+            | None -> fail ())
+        | "const" -> (
+            match float_of_string_opt rest with
+            | Some r -> Ok (Sbft_harness.Loadgen.Const r)
+            | None -> fail ())
+        | "ramp" -> (
+            (* split on the ".." separator; the bounds are floats, so
+               scan for two consecutive dots rather than any dot *)
+            let sep = ref None in
+            for j = 0 to String.length rest - 2 do
+              if !sep = None && rest.[j] = '.' && rest.[j + 1] = '.' then sep := Some j
+            done;
+            match !sep with
+            | None -> fail ()
+            | Some j -> (
+                let a = String.sub rest 0 j in
+                let b = String.sub rest (j + 2) (String.length rest - j - 2) in
+                match (float_of_string_opt a, float_of_string_opt b) with
+                | Some a, Some b -> Ok (Sbft_harness.Loadgen.Ramp (a, b))
+                | _ -> fail ()))
+        | _ -> fail ())
+  in
+  let print fmt a = Format.pp_print_string fmt (Sbft_harness.Loadgen.arrival_to_string a) in
+  Cmdliner.Arg.conv (parse, print)
+
+let kv_arrival_arg =
+  Arg.(
+    value
+    & opt (some kv_arrival_conv) None
+    & info [ "arrival" ] ~docv:"PROCESS"
+        ~doc:
+          "Drive the store open-loop: simulated requests arrive by this seeded rate process \
+           (ops per virtual tick) independent of completions, flow through per-shard admission \
+           queues and are dispatched to free clients.  One of $(b,poisson:RATE), \
+           $(b,const:RATE) or $(b,ramp:A..B) (instantaneous rate sweeping linearly from A to B \
+           over the run).  Without this flag the classic closed-loop driver runs.")
+
+(* "R:W" read/write weights, e.g. 70:30. *)
+let kv_mix_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "invalid mix %S (expected R:W, e.g. 70:30)" s))
+    in
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let r = String.sub s 0 i and w = String.sub s (i + 1) (String.length s - i - 1) in
+        match (float_of_string_opt r, float_of_string_opt w) with
+        | Some r, Some w when r >= 0.0 && w >= 0.0 && r +. w > 0.0 -> Ok (w /. (r +. w))
+        | _ -> fail ())
+  in
+  let print fmt ratio = Format.fprintf fmt "%g:%g" (1.0 -. ratio) ratio in
+  Cmdliner.Arg.conv (parse, print)
+
+let kv_mix_arg =
+  Arg.(
+    value
+    & opt (some kv_mix_conv) None
+    & info [ "mix" ] ~docv:"R:W"
+        ~doc:
+          "Read/write weights for the open-loop mix, e.g. $(b,95:5) for a YCSB-B-style \
+           read-heavy workload (default 70:30).")
+
+let kv_duration_arg =
+  Arg.(
+    value
+    & opt int 2000
+    & info [ "duration" ] ~docv:"TICKS"
+        ~doc:"Arrival-generation span in virtual ticks (open loop only).")
+
+let kv_total_ops_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "total-ops" ] ~docv:"N"
+        ~doc:
+          "Stop generating after exactly N offered arrivals, even if $(b,--duration) has not \
+           elapsed (open loop only) — pins the op count of a scale run.")
+
+let kv_max_queue_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Per-shard admission-queue capacity; arrivals beyond it are rejected (counted, not \
+           queued).")
+
 let kv_slo_p99_arg =
   Arg.(
     value
@@ -1077,8 +1200,35 @@ let kv_slo_budget_arg =
 
 let kv_cmd =
   let go shards n f seed keys ops clients doom fault_at fault_shards zipf window stab_k level
-      sample profile progress slo_p99 slo_budget metrics_out trace_out =
+      sample profile progress slo_p99 slo_budget arrival duration mix total_ops max_queue
+      metrics_out trace_out =
     let clients = max 1 clients in
+    (* Open loop: build and validate the loadgen spec before paying for
+       any simulation, so a bad rate/mix fails fast with the typed
+       error text. *)
+    let loadgen_spec =
+      Option.map
+        (fun a ->
+          {
+            Sbft_harness.Loadgen.mode = Sbft_harness.Loadgen.Open_loop a;
+            duration;
+            ops = total_ops;
+            write_ratio = Option.value ~default:0.3 mix;
+            keys;
+            zipf_s = zipf;
+            value_base = 2000;
+            max_queue;
+          })
+        arrival
+    in
+    Option.iter
+      (fun spec ->
+        match Sbft_harness.Loadgen.validate spec with
+        | Ok () -> ()
+        | Error e ->
+            prerr_endline ("sbftreg kv: " ^ Sbft_harness.Loadgen.error_to_string e);
+            exit 1)
+      loadgen_spec;
     let kv =
       Sbft_kv.Store.create ~seed ~trace_level:level ~sample
         ?series_window:(if window > 0 then Some window else None)
@@ -1126,11 +1276,30 @@ let kv_cmd =
       kv_prepare kv ~keys ~clients ~doom ~fault_at ~fault_shards ~window ~stab_k ~slo_p99
         ~slo_budget
     in
-    let outcome, (checked, violations) = kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after in
+    let loadgen, (checked, violations) =
+      match loadgen_spec with
+      | Some spec ->
+          let o, audit = kv_drive_open kv ~spec ~stab ~alerts ~fault_after in
+          (Some (spec, o), audit)
+      | None ->
+          let o, audit = kv_drive kv ~ops ~keys ~zipf ~stab ~alerts ~fault_after in
+          Printf.printf "%d puts, %d gets (%d aborted); audit: %d reads checked, %d violations\n"
+            o.Sbft_harness.Workload.issued_puts o.issued_gets o.aborted_gets (fst audit)
+            (snd audit);
+          (None, audit)
+    in
     Option.iter Sbft_harness.Progress.finish heartbeat;
-    Printf.printf "%d puts, %d gets (%d aborted); audit: %d reads checked, %d violations\n"
-      outcome.Sbft_harness.Workload.issued_puts outcome.issued_gets outcome.aborted_gets checked
-      violations;
+    (match loadgen with
+    | Some (_, o) ->
+        Printf.printf
+          "offered %d, accepted %d, rejected %d; completed %d (%d puts, %d gets, %d aborted)%s; \
+           audit: %d reads checked, %d violations\n"
+          o.Sbft_harness.Loadgen.offered o.accepted o.rejected o.completed o.completed_puts
+          o.completed_gets o.aborted
+          (if o.livelocked then " [LIVELOCKED: event budget exhausted]" else "")
+          checked violations;
+        Format.printf "%a@." Sbft_harness.Loadgen.pp o
+    | None -> ());
     Format.printf "%a@." Sbft_kv.Store.pp_stats kv;
     let slo =
       Sbft_harness.Slo.evaluate
@@ -1166,15 +1335,39 @@ let kv_cmd =
             ("vtime", J.Int (Sbft_sim.Engine.now engine));
             ("events_fired", J.Int (Sbft_sim.Engine.events_fired engine));
           ]
+          @
+          match loadgen with
+          | Some (spec, _) ->
+              [
+                ( "arrival",
+                  match spec.Sbft_harness.Loadgen.mode with
+                  | Sbft_harness.Loadgen.Open_loop a ->
+                      J.String (Sbft_harness.Loadgen.arrival_to_string a)
+                  | Sbft_harness.Loadgen.Closed_loop _ -> J.String "closed" );
+                ("duration", J.Int spec.duration);
+                ("mix_write_ratio", J.Float spec.write_ratio);
+                ("max_queue", J.Int spec.max_queue);
+                ("total_ops", (match spec.ops with Some n -> J.Int n | None -> J.Null));
+              ]
+          | None -> []
         in
         output_string oc
           (J.to_string
              (Sbft_harness.Artifacts.metrics_json ~run
                 ~regularity:(checked, violations)
                 ~stabilization_online:stab ?alerts
+                ?loadgen:
+                  (Option.map
+                     (fun (spec, o) -> Sbft_harness.Loadgen.to_json ~spec o)
+                     loadgen)
                 ?series:
                   (if Sbft_kv.Store.series_enabled kv then Some (Sbft_kv.Store.all_series kv)
                    else None)
+                ?queue_series:
+                  (match loadgen with
+                  | Some (_, o) when Array.length o.Sbft_harness.Loadgen.queue_series > 0 ->
+                      Some (Array.to_list o.Sbft_harness.Loadgen.queue_series)
+                  | _ -> None)
                 ~shards:(Sbft_harness.Slo.to_json slo)
                 ?profile:(Option.map Sbft_sim.Profile.to_json profile_report)
                 ~metrics:(Sbft_sim.Engine.metrics engine)
@@ -1214,12 +1407,16 @@ let kv_cmd =
        ~doc:
          "Run a Zipfian session against the sharded key-value store with streaming per-shard \
           series and an online stabilization detector, audit it and gate per-shard SLOs (exit 2 \
-          on a violation or SLO miss)")
+          on a violation or SLO miss).  With $(b,--arrival) the session is open-loop: requests \
+          arrive by a seeded rate process independent of completions, per-shard admission \
+          queues absorb (or shed) the excess, and end-to-end latency including queue wait \
+          gates the SLO.")
     Term.(
       const go $ kv_shards_arg $ kv_n_arg $ kv_f_arg $ kv_seed_arg $ kv_keys_arg $ kv_ops_arg
       $ kv_clients_arg $ kv_doom_arg $ kv_fault_at_arg $ kv_fault_shards_arg $ kv_zipf_arg
       $ kv_window_arg $ kv_stab_k_arg $ trace_level_arg $ sample_arg $ profile_arg $ progress_arg
-      $ kv_slo_p99_arg $ kv_slo_budget_arg $ metrics_out $ kv_trace_out)
+      $ kv_slo_p99_arg $ kv_slo_budget_arg $ kv_arrival_arg $ kv_duration_arg $ kv_mix_arg
+      $ kv_total_ops_arg $ kv_max_queue_arg $ metrics_out $ kv_trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* watch *)

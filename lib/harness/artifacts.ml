@@ -41,8 +41,8 @@ let histogram_json (h : Metrics.hist_snapshot) =
         ("counts", J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts)));
       ])
 
-let metrics_json ?(run = []) ?stabilization ?stabilization_online ?alerts ?series ?regularity
-    ?telemetry ?shards ?profile ~metrics ~per_node () =
+let metrics_json ?(run = []) ?stabilization ?stabilization_online ?alerts ?loadgen ?series
+    ?queue_series ?regularity ?telemetry ?shards ?profile ~metrics ~per_node () =
   let counters = List.map (fun (k, v) -> (k, J.Int v)) (Metrics.counters metrics) in
   let histograms = List.map (fun (k, h) -> (k, histogram_json h)) (Metrics.histograms metrics) in
   let nodes =
@@ -72,18 +72,26 @@ let metrics_json ?(run = []) ?stabilization ?stabilization_online ?alerts ?serie
     | None -> base
   in
   let base = match alerts with Some a -> base @ [ ("alerts", Alerts.to_json a) ] | None -> base in
+  let base = match loadgen with Some j -> base @ [ ("loadgen", j) ] | None -> base in
   let base =
     match series with
     | Some (shard_series : Sbft_kv.Store.shard_series list) when shard_series <> [] ->
+        let queues =
+          match queue_series with Some l -> Array.of_list l | None -> [||]
+        in
         let per_shard =
           List.mapi
             (fun shard (s : Sbft_kv.Store.shard_series) ->
               J.Obj
-                [
-                  ("shard", J.Int shard);
-                  ("flow", Sbft_sim.Series.to_json s.Sbft_kv.Store.flow);
-                  ("lat", Sbft_sim.Series.to_json s.Sbft_kv.Store.lat);
-                ])
+                ([
+                   ("shard", J.Int shard);
+                   ("flow", Sbft_sim.Series.to_json s.Sbft_kv.Store.flow);
+                   ("lat", Sbft_sim.Series.to_json s.Sbft_kv.Store.lat);
+                 ]
+                @
+                if shard < Array.length queues then
+                  [ ("queue", Sbft_sim.Series.to_json queues.(shard)) ]
+                else []))
             shard_series
         in
         let flows = List.map (fun (s : Sbft_kv.Store.shard_series) -> s.Sbft_kv.Store.flow) shard_series in

@@ -26,7 +26,9 @@ val metrics_json :
   ?stabilization:Probe.report ->
   ?stabilization_online:Stabilization.t ->
   ?alerts:Alerts.t ->
+  ?loadgen:Sbft_sim.Json.t ->
   ?series:Sbft_kv.Store.shard_series list ->
+  ?queue_series:Sbft_sim.Series.t list ->
   ?regularity:int * int ->
   ?telemetry:Sbft_sim.Json.t ->
   ?shards:Sbft_sim.Json.t ->
@@ -45,6 +47,11 @@ val metrics_json :
     detector's verdicts ({!Stabilization.to_json}), [alerts] the
     anomaly ruleset's firings ({!Alerts.to_json}), and [series] the
     per-shard windowed series plus their fleet merge (flush with
-    {!Sbft_kv.Store.roll_series_to} first). *)
+    {!Sbft_kv.Store.roll_series_to} first).
+
+    The open-loop blocks: [loadgen] is {!Loadgen.to_json}'s admission
+    accounting, and [queue_series] the generator's per-shard
+    queue-depth series, spliced as a ["queue"] member into each shard's
+    [series] row (same index order as [series]). *)
 
 val write_file : path:string -> Sbft_sim.Json.t -> unit

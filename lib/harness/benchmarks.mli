@@ -49,6 +49,15 @@ type series_overhead = {
   series_overhead_pct : float;  (** percent slower; the ISSUE target is <5 *)
 }
 
+type loadgen_overhead = {
+  closed_ops_per_s : float;  (** {!Workload.run_kv} driving [ops_per_run] ops, wall-clock *)
+  open_ops_per_s : float;
+      (** {!Loadgen} open loop (constant rate under capacity) completing
+          the same [ops_per_run] ops on an identical store *)
+  loadgen_overhead_pct : float;  (** percent slower; the acceptance cap is 5 *)
+  ops_per_run : int;  (** completed ops per timed run, identical on both sides *)
+}
+
 type t = {
   engine_events_per_s : float;  (** fired thunks/sec at trace [On] *)
   engine_runs : int;  (** scenario executions the rate was averaged over *)
@@ -57,6 +66,7 @@ type t = {
   checker : checker;
   overhead : overhead;
   series : series_overhead;
+  loadgen : loadgen_overhead;
 }
 
 val synthetic_history :
@@ -91,5 +101,7 @@ val compare_to_baseline :
     strictly lower than fired-thunk counts) can never false-fail.
     Additionally, when the baseline carries a series row, the series
     overhead is gated {e absolutely} at 5% — the streaming pipeline's
-    hot-path budget, independent of machine speed.  Empty list = gate
-    passes. *)
+    hot-path budget, independent of machine speed — and likewise the
+    open-loop generator's overhead vs. the closed-loop driver at equal
+    completed-op count once the baseline carries a loadgen row.  Empty
+    list = gate passes. *)

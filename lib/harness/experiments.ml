@@ -1337,6 +1337,77 @@ let e23_time_to_stabilize () =
 
 (* ------------------------------------------------------------------ *)
 
+let e24_saturation_knee () =
+  (* The open-loop generator swept across the saturation knee: an
+     8-shard Zipfian store with 24 clients serves constant-rate
+     arrivals while 2 shards take transient heavy corruption mid-run.
+     Below the knee queue wait is ~0 and offered ≈ completed; past it
+     the admission queues absorb, then shed, the excess — offered
+     decouples from completed in a way no closed-loop driver can show,
+     because a closed loop's arrival rate collapses to its completion
+     rate by construction. *)
+  let module Store = Sbft_kv.Store in
+  let module Metrics = Sbft_sim.Metrics in
+  let module Names = Sbft_sim.Metric_names in
+  let shards = 8 and window = 40 and fault_at = 300 and duration = 1200 and max_queue = 128 in
+  let row rate =
+    let kv =
+      Store.create ~seed:11L ~trace_level:Sbft_sim.Trace.Off ~series_window:window ~shards ~n:6
+        ~f:1 ~clients:24 ()
+    in
+    let engine = Store.engine kv in
+    Engine.schedule engine ~delay:fault_at (fun () ->
+        for s = 0 to 1 do
+          Store.apply_to_shard kv ~shard:s (fun sys ->
+              System.corrupt_everything sys ~severity:`Heavy)
+        done);
+    let stab = Stabilization.attach ~window ~after:fault_at kv in
+    let spec =
+      {
+        Loadgen.default with
+        Loadgen.mode = Loadgen.Open_loop (Loadgen.Const rate);
+        duration;
+        keys = 64;
+        max_queue;
+      }
+    in
+    let o = Loadgen.run ~spec kv in
+    Stabilization.finalize stab ~now:(Engine.now engine);
+    let qwait_p99 =
+      match Metrics.histogram (Engine.metrics engine) Names.loadgen_queue_wait_ticks with
+      | None -> "-"
+      | Some h ->
+          let v, sat = Stats.hist_percentile_sat ~bounds:h.bounds ~counts:h.counts 99.0 in
+          fmt "%s%.0f" (if sat then ">=" else "") v
+    in
+    [
+      fmt "const %.2f/tick" rate;
+      fmt "%d" o.Loadgen.offered;
+      fmt "%d" o.Loadgen.completed;
+      fmt "%d" o.Loadgen.rejected;
+      fmt "%d" o.Loadgen.peak_queue;
+      qwait_p99;
+      fmt "%d/%d" (Stabilization.stabilized_shards stab) shards;
+    ]
+  in
+  Table.make ~id:"E24"
+    ~title:"Saturation knee: open-loop constant-rate arrivals vs an 8-shard store, 2 shards faulted"
+    ~header:
+      [ "offered rate"; "offered"; "completed"; "rejected"; "peak queue"; "qwait p99"; "stabilized" ]
+    ~notes:
+      [
+        fmt "24 store clients, Zipf 1.1 over 64 keys, %d-tick run, transient heavy corruption \
+             of shards 0-1 at t=%d" duration fault_at;
+        fmt "per-shard admission queues cap at %d; arrivals beyond are shed (rejected)" max_queue;
+        "below the knee offered ~= completed and qwait ~ 0; past it queueing delay, then \
+         shedding, absorb the excess";
+        "the full-scale run (10^6 ops, 64 shards) is the EXPERIMENTS.md E24 walkthrough — one \
+         sbftreg kv --arrival invocation";
+      ]
+    [ row 0.1; row 0.3; row 0.6; row 1.2 ]
+
+(* ------------------------------------------------------------------ *)
+
 let all () =
   [
     e1_lower_bound ();
@@ -1361,6 +1432,7 @@ let all () =
     e21_scale ();
     e22_observability ();
     e23_time_to_stabilize ();
+    e24_saturation_knee ();
   ]
 
 let table_fns =
@@ -1387,6 +1459,7 @@ let table_fns =
     ("e21", e21_scale);
     ("e22", e22_observability);
     ("e23", e23_time_to_stabilize);
+    ("e24", e24_saturation_knee);
   ]
 
 let by_id id = List.assoc_opt (String.lowercase_ascii id) table_fns

@@ -97,6 +97,13 @@ val e23_time_to_stabilize : unit -> Table.t
     {!Stabilization} detector (per-shard and fleet) — blast radius in
     recovery time rather than in space. *)
 
+val e24_saturation_knee : unit -> Table.t
+(** The open-loop generator's saturation knee: constant-rate arrivals
+    swept past an 8-shard store's capacity with 2 shards faulted
+    mid-run — offered vs completed vs rejected, peak queue depth and
+    queue-wait p99 per rate.  The 10^6-op/64-shard flagship run is the
+    EXPERIMENTS.md walkthrough (one [sbftreg kv --arrival] call). *)
+
 val all : unit -> Table.t list
 
 val by_id : string -> (unit -> Table.t) option

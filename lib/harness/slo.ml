@@ -17,6 +17,7 @@ type shard = {
   aborts : int;
   put : percentiles;
   get : percentiles;
+  e2e : percentiles option;
   worst_p99 : float;
   latency_ok : bool;
   budget_used : float;
@@ -42,16 +43,27 @@ let evaluate_shard ~target m ~shard =
   let aborts = Metrics.get m (Names.kv_shard ~shard Names.Shard_aborts) in
   let put = percentiles_of m (Names.kv_shard ~shard Names.Shard_put_ticks) in
   let get = percentiles_of m (Names.kv_shard ~shard Names.Shard_get_ticks) in
-  let worst_p99 = Float.max put.p99 get.p99 in
+  (* Open-loop runs also record end-to-end latency (admission-queue
+     wait + service); when present it gates the target too — the whole
+     point of the open loop is that queueing delay is billable. *)
+  let e2e =
+    match Metrics.histogram m (Names.kv_shard ~shard Names.Shard_e2e_ticks) with
+    | None -> None
+    | Some _ -> Some (percentiles_of m (Names.kv_shard ~shard Names.Shard_e2e_ticks))
+  in
+  let e2e_p99, e2e_sat = match e2e with None -> (0.0, false) | Some p -> (p.p99, p.saturated) in
+  let worst_p99 = Float.max (Float.max put.p99 get.p99) e2e_p99 in
   (* A saturated percentile is only a lower bound on the truth, so it
      can pass the target spuriously; treat saturation as a miss. *)
-  let latency_ok = worst_p99 <= target.p99_ticks && not (put.saturated || get.saturated) in
+  let latency_ok =
+    worst_p99 <= target.p99_ticks && not (put.saturated || get.saturated || e2e_sat)
+  in
   let total = puts + gets + aborts in
   let bad_frac = if total = 0 then 0.0 else float_of_int aborts /. float_of_int total in
   let budget_used = if target.error_budget <= 0.0 then Float.infinity else bad_frac /. target.error_budget in
   let budget_used = if target.error_budget <= 0.0 && bad_frac = 0.0 then 0.0 else budget_used in
   let budget_ok = budget_used <= 1.0 in
-  { shard; puts; gets; aborts; put; get; worst_p99; latency_ok; budget_used; budget_ok;
+  { shard; puts; gets; aborts; put; get; e2e; worst_p99; latency_ok; budget_used; budget_ok;
     ok = latency_ok && budget_ok }
 
 (* Windowed burn rate for the streaming alert rules: the multiple of
@@ -76,13 +88,16 @@ let percentiles_json p =
 
 let shard_json s =
   J.Obj
-    [
+    ([
       ("shard", J.Int s.shard);
       ("puts", J.Int s.puts);
       ("gets", J.Int s.gets);
       ("aborts", J.Int s.aborts);
       ("put_ticks", percentiles_json s.put);
       ("get_ticks", percentiles_json s.get);
+    ]
+    @ (match s.e2e with None -> [] | Some p -> [ ("e2e_ticks", percentiles_json p) ])
+    @ [
       ( "slo",
         J.Obj
           [
@@ -92,7 +107,7 @@ let shard_json s =
             ("budget_ok", J.Bool s.budget_ok);
             ("ok", J.Bool s.ok);
           ] );
-    ]
+    ])
 
 let to_json r =
   J.Obj

@@ -32,7 +32,11 @@ type shard = {
   aborts : int;
   put : percentiles;
   get : percentiles;
-  worst_p99 : float;  (** max of put/get p99 — what the target gates *)
+  e2e : percentiles option;
+      (** open-loop end-to-end latency (admission-queue wait plus
+          service), present only when the load generator ran — queueing
+          delay is part of the SLO, so it gates the target too *)
+  worst_p99 : float;  (** max of put/get (and e2e) p99 — what the target gates *)
   latency_ok : bool;
   budget_used : float;
       (** bad fraction / allowed fraction: 0 = untouched budget, 1 =

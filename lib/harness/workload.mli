@@ -68,3 +68,16 @@ type kv_outcome = {
 val run_kv : ?spec:kv_spec -> ?max_events:int -> Sbft_kv.Store.t -> kv_outcome
 (** Drive every store client to its quota (or budget exhaustion).
     Deterministic given the store's engine seed and [spec]. *)
+
+(** {1 Samplers}
+
+    The Zipfian key sampler, exposed so the statistical test tier can
+    hold it to its target distribution (chi-squared goodness of fit)
+    and so {!Loadgen} shares the exact same key-skew machinery. *)
+
+val zipf_cdf : keys:int -> s:float -> float array
+(** Normalized CDF over key ranks [0 .. keys-1] with weight
+    [1/(rank+1)^s]; [s = 0] degenerates to uniform. *)
+
+val zipf_pick : Sbft_sim.Rng.t -> float array -> int
+(** Binary-search one rank from a {!zipf_cdf} (one uniform draw). *)

@@ -141,6 +141,9 @@ let add_observer t f = t.observers <- t.observers @ [ f ]
 
 let series_enabled t = Array.length t.series > 0
 
+let series_window t =
+  if Array.length t.series = 0 then None else Some (Series.window t.series.(0).flow)
+
 let shard_series t shard =
   if Array.length t.series = 0 then None else Some t.series.(shard)
 

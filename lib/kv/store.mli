@@ -101,6 +101,11 @@ val add_observer : t -> observer -> unit
 
 val series_enabled : t -> bool
 
+val series_window : t -> int option
+(** The tumbling-window width the store was created with, when series
+    are on — so companion series (e.g. the load generator's queue-depth
+    series) can tile time identically. *)
+
 val shard_series : t -> int -> shard_series option
 (** [None] when the store was created without [series_window]. *)
 

@@ -105,6 +105,13 @@ let read_abort_ticks = "op.read.abort_ticks"
 
 let dl_ack_rtt_ticks = "dl.ack_rtt_ticks"
 
+(* -- load generation ------------------------------------------------ *)
+
+let loadgen_queue_wait_ticks = "loadgen.queue_wait_ticks"
+(* Virtual ticks an accepted arrival spent queued before a free client
+   dispatched it — the open-loop generator's fleet-wide admission
+   delay.  Zero-heavy when offered load is below the knee. *)
+
 (* -- per-shard (templated) ------------------------------------------ *)
 
 (* Per-shard names are minted here and nowhere else: call sites go
@@ -123,6 +130,11 @@ type shard_field =
   | Shard_get_ticks
   | Shard_flow
   | Shard_op_ticks
+  | Shard_offered
+  | Shard_accepted
+  | Shard_rejected
+  | Shard_queue
+  | Shard_e2e_ticks
 
 let shard_field_name = function
   | Shard_puts -> "puts"
@@ -132,6 +144,11 @@ let shard_field_name = function
   | Shard_get_ticks -> "get_ticks"
   | Shard_flow -> "flow"
   | Shard_op_ticks -> "op_ticks"
+  | Shard_offered -> "offered"
+  | Shard_accepted -> "accepted"
+  | Shard_rejected -> "rejected"
+  | Shard_queue -> "queue"
+  | Shard_e2e_ticks -> "e2e_ticks"
 
 let shard_fields =
   [
@@ -142,6 +159,11 @@ let shard_fields =
     Shard_get_ticks;
     Shard_flow;
     Shard_op_ticks;
+    Shard_offered;
+    Shard_accepted;
+    Shard_rejected;
+    Shard_queue;
+    Shard_e2e_ticks;
   ]
 
 let shard_field_index = function
@@ -152,6 +174,11 @@ let shard_field_index = function
   | Shard_get_ticks -> 4
   | Shard_flow -> 5
   | Shard_op_ticks -> 6
+  | Shard_offered -> 7
+  | Shard_accepted -> 8
+  | Shard_rejected -> 9
+  | Shard_queue -> 10
+  | Shard_e2e_ticks -> 11
 
 (* The memo is bounded: one dense array per field, grown geometrically
    up to [kv_shard_memo_cap] shards.  A store with more shards than the
@@ -243,12 +270,19 @@ let all =
     (read_total_ticks, Histogram, "read invocation to response, value outcomes");
     (read_abort_ticks, Histogram, "read invocation to response, abort outcomes");
     (dl_ack_rtt_ticks, Histogram, "data-link packet first transmit to full acknowledgment");
+    ( loadgen_queue_wait_ticks,
+      Histogram,
+      "open-loop generator: virtual ticks accepted arrivals waited in the \
+       admission queue before a free client picked them up" );
     ( kv_shard_prefix,
       Prefix,
       "per-shard KV metrics, kv.shard.<i>.<field> with field one of puts/gets \
        (completed operations), aborts (reads that aborted), put_ticks/get_ticks \
        (latency histograms), flow/op_ticks (streaming series: per-window op \
-       flow with abort fraction, and op latency with quantile digest); minted \
+       flow with abort fraction, and op latency with quantile digest), \
+       offered/accepted/rejected (open-loop admission counters), queue \
+       (streaming series of admission queue depth) and e2e_ticks (open-loop \
+       end-to-end latency histogram: queue wait plus service); minted \
        only by Metric_names.kv_shard" );
   ]
 

@@ -87,6 +87,10 @@ val read_abort_ticks : string
 
 val dl_ack_rtt_ticks : string
 
+val loadgen_queue_wait_ticks : string
+(** Open-loop generator: virtual ticks an accepted arrival waited in
+    the admission queue before a free client dispatched it. *)
+
 (** {1 Per-shard names}
 
     Dynamically numbered metrics ([kv.shard.<i>.<field>]) are minted
@@ -103,6 +107,11 @@ type shard_field =
   | Shard_get_ticks  (** get latency histogram, virtual ticks *)
   | Shard_flow  (** streaming series: ops per window, sum = aborts *)
   | Shard_op_ticks  (** streaming series: op latency, per-window digest *)
+  | Shard_offered  (** open-loop arrivals routed to the shard *)
+  | Shard_accepted  (** arrivals admitted (queued or dispatched) *)
+  | Shard_rejected  (** arrivals shed: the admission queue was full *)
+  | Shard_queue  (** streaming series: admission queue depth *)
+  | Shard_e2e_ticks  (** open-loop end-to-end latency (queue + service) *)
 
 val shard_fields : shard_field list
 

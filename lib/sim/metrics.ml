@@ -105,8 +105,9 @@ let bucket_of bounds v =
   let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
   go 0
 
-let record ?bounds t name v =
-  let h = hist_slot t ?bounds name in
+let hist ?bounds t name = hist_slot t ?bounds name
+
+let hist_record (h : hist) v =
   let b = bucket_of h.bounds v in
   h.hcounts.(b) <- h.hcounts.(b) + 1;
   h.total <- h.total + 1;
@@ -114,6 +115,8 @@ let record ?bounds t name v =
   if v < h.hmin then h.hmin <- v;
   if v > h.hmax then h.hmax <- v;
   Series.Quantile.add h.hq v
+
+let record ?bounds t name v = hist_record (hist_slot t ?bounds name) v
 
 let snapshot (h : hist) =
   {

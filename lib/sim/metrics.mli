@@ -56,6 +56,16 @@ val record : ?bounds:float array -> t -> string -> float -> unit
     [bounds], default {!default_bounds}) on first use.  [bounds] is
     ignored on later calls. *)
 
+type hist
+(** A resolved histogram handle: the name lookup paid once instead of
+    per sample.  For hot paths that record the same histogram for every
+    operation (the open-loop generator's queue-wait and end-to-end
+    latencies).  Resolving a handle creates the (empty) histogram;
+    {!reset} orphans outstanding handles — re-resolve after a reset. *)
+
+val hist : ?bounds:float array -> t -> string -> hist
+val hist_record : hist -> float -> unit
+
 val histogram : t -> string -> hist_snapshot option
 
 val histograms : t -> (string * hist_snapshot) list

@@ -49,5 +49,6 @@ let () =
       ("corpus", Test_corpus.suite);
       ("label-props", Test_label_props.suite);
       ("metamorphic", Test_metamorphic.suite);
+      ("loadgen", Test_loadgen.suite);
       ("cli", Test_cli.suite);
     ]

@@ -209,8 +209,71 @@ let test_watch_and_report_exit_codes () =
     (let s = read_file out in
      replace_once s ~sub:"fleet" ~by:"" <> s && replace_once s ~sub:"stabilization" ~by:"" <> s)
 
+(* open-loop kv: the --arrival/--mix/--duration/--total-ops surface, a
+   deliberate overload that must miss the SLO (exit 2), typed spec
+   errors (exit 1, no silent clamp) and trace-level invariance of the
+   whole metrics artifact. *)
+let test_kv_open_loop_cli () =
+  let m = temp "lg" ".json" in
+  check_exit "open-loop run under capacity exits 0" 0
+    (sh
+       "%s kv --shards 4 --clients 8 --keys 16 --seed 9 --trace-level off --window 40 \
+        --arrival poisson:0.4 --duration 600 --mix 7:3 --max-queue 64 --slo-p99 100000 \
+        --slo-error-budget 1 --metrics-out %s >/dev/null 2>&1"
+       exe m);
+  let s = read_file m in
+  Alcotest.(check bool) "artifact carries the loadgen block" true
+    (replace_once s ~sub:{|"loadgen"|} ~by:"" <> s
+    && replace_once s ~sub:{|"offered"|} ~by:"" <> s
+    && replace_once s ~sub:{|"arrival":"poisson:0.4"|} ~by:"" <> s);
+  Alcotest.(check bool) "mix parsed as a write ratio" true
+    (replace_once s ~sub:{|"mix_write_ratio":0.3|} ~by:"" <> s);
+  Alcotest.(check bool) "per-shard e2e latency histograms recorded" true
+    (replace_once s ~sub:{|kv.shard.0.e2e_ticks|} ~by:"" <> s);
+  Alcotest.(check bool) "queue series ride the store's" true
+    (replace_once s ~sub:{|"queue"|} ~by:"" <> s);
+  (* --total-ops pins the offered count *)
+  let m2 = temp "lgops" ".json" in
+  check_exit "total-ops run exits 0" 0
+    (sh
+       "%s kv --shards 4 --clients 8 --keys 16 --seed 9 --trace-level off \
+        --arrival const:0.5 --duration 100000 --total-ops 50 --slo-p99 100000 \
+        --slo-error-budget 1 --metrics-out %s >/dev/null 2>&1"
+       exe m2);
+  Alcotest.(check bool) "exactly the pinned ops were offered" true
+    (let s2 = read_file m2 in
+     replace_once s2 ~sub:{|"offered":50|} ~by:"" <> s2);
+  (* overload: queueing delay blows the e2e p99, the SLO verdict is a
+     miss, and the exit code says so *)
+  check_exit "overload past the knee exits 2" 2
+    (sh
+       "%s kv --shards 2 --clients 2 --keys 8 --seed 9 --trace-level off \
+        --arrival const:2 --duration 400 >/dev/null 2>&1"
+       exe);
+  (* typed spec errors: loud exit 1, never a clamp *)
+  check_exit "non-positive rate exits 1" 1
+    (sh "%s kv --arrival const:-2 >/dev/null 2>&1" exe);
+  check_exit "super-tick rate is unrepresentable, exits 1" 1
+    (sh "%s kv --arrival poisson:999999 >/dev/null 2>&1" exe);
+  (* the artifact is bit-identical across trace levels, up to the
+     declared run.trace_level member *)
+  let off = temp "lgoff" ".json" and on = temp "lgon" ".json" in
+  let flags =
+    "--shards 4 --clients 6 --keys 16 --seed 11 --window 40 --arrival poisson:0.6 \
+     --duration 500 --slo-p99 100000 --slo-error-budget 1"
+  in
+  check_exit "trace-off run" 0
+    (sh "%s kv %s --trace-level off --metrics-out %s >/dev/null 2>&1" exe flags off);
+  check_exit "trace-on run" 0
+    (sh "%s kv %s --trace-level on --metrics-out %s >/dev/null 2>&1" exe flags on);
+  Alcotest.(check string) "artifacts agree at every trace level"
+    (read_file off)
+    (replace_once (read_file on) ~sub:{|"trace_level":"on"|} ~by:{|"trace_level":"off"|})
+
 let suite =
   [
+    Alcotest.test_case "kv open loop: flags, overload exit, determinism" `Quick
+      test_kv_open_loop_cli;
     Alcotest.test_case "watch/report exit codes and artifacts" `Quick
       test_watch_and_report_exit_codes;
     Alcotest.test_case "diff exit codes: ok / warn / fail" `Quick test_diff_exit_codes;

@@ -80,12 +80,14 @@ let test_adapter_metrics_coherent () =
   Alcotest.(check bool) "first write completion known" true (reg.first_write_completion () <> None)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "twenty-two experiments" 22 (List.length Experiments.ids);
+  Alcotest.(check int) "twenty-three experiments" 23 (List.length Experiments.ids);
   Alcotest.(check bool) "lookup by id" true (Experiments.by_id "E4" <> None);
   Alcotest.(check bool) "scale experiment registered" true (Experiments.by_id "e21" <> None);
   Alcotest.(check bool) "observability experiment registered" true (Experiments.by_id "e22" <> None);
   Alcotest.(check bool) "time-to-stabilize experiment registered" true
     (Experiments.by_id "e23" <> None);
+  Alcotest.(check bool) "saturation-knee experiment registered" true
+    (Experiments.by_id "e24" <> None);
   Alcotest.(check bool) "case-insensitive" true (Experiments.by_id "e4" <> None);
   Alcotest.(check bool) "unknown rejected" true (Experiments.by_id "e99" = None)
 
