@@ -26,9 +26,9 @@ bench:
 # Regenerate the committed perf baseline (engine events/sec, fuzz
 # schedules/sec, checker µs per 10k-op history, tracing-overhead rows,
 # series and open-loop-generator overhead rows, E12 micro table); CI
-# gates `sbftreg bench --baseline BENCH_PR9.json` against it.
+# gates `sbftreg bench --baseline BENCH_PR10.json` against it.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR9.json
+	dune exec bench/main.exe -- --json BENCH_PR10.json
 
 # Sample run artifacts (committed reference inputs for sbftreg
 # replay/analyze/diff/spans/trends; also a smoke test of the whole

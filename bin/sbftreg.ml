@@ -1203,6 +1203,14 @@ let kv_cmd =
       sample profile progress slo_p99 slo_budget arrival duration mix total_ops max_queue
       metrics_out trace_out =
     let clients = max 1 clients in
+    (* Both loops sample keys through the Zipf CDF, so vet the exponent
+       up front — the closed loop otherwise only fails inside run_kv. *)
+    if Float.is_nan zipf || zipf < 0.0 then begin
+      prerr_endline
+        ("sbftreg kv: "
+        ^ Sbft_harness.Loadgen.error_to_string (Sbft_harness.Loadgen.Invalid_zipf zipf));
+      exit 1
+    end;
     (* Open loop: build and validate the loadgen spec before paying for
        any simulation, so a bad rate/mix fails fast with the typed
        error text. *)
@@ -1544,32 +1552,67 @@ let save_finding ~dir ~name ~note (s : Scenario.t) =
       Some (path, verdict)
 
 let fuzz_cmd =
-  let go n f clients ops wr delay seed iters budget max_findings quiet save =
+  let save_findings ~dir ~seed findings =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iteri
+      (fun i (fd : Fuzz.finding) ->
+        let name = Printf.sprintf "finding-%03d.trace" i in
+        let note = Printf.sprintf "fuzz campaign seed=%Ld step=%d" seed fd.step in
+        match save_finding ~dir ~name ~note fd.scenario with
+        | Some (path, verdict) -> Printf.printf "wrote %s (%s)\n" path verdict
+        | None -> ())
+      findings
+  in
+  (* Retained corpus entries become replayable artifacts too: each is
+     re-executed so the header records its verdict and the event stream
+     — `sbftreg corpus DIR` then proves every entry replays to the same
+     verdict, regardless of how many domains retained it. *)
+  let save_corpus_entries ~dir ~seed ~domains corpus =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iteri
+      (fun i s ->
+        let name = Printf.sprintf "corpus-%03d.trace" i in
+        let note = Printf.sprintf "fuzz corpus seed=%Ld domains=%d entry=%d" seed domains i in
+        match save_finding ~dir ~name ~note s with
+        | Some (path, verdict) -> Printf.printf "wrote %s (%s)\n" path verdict
+        | None -> ())
+      corpus
+  in
+  let go n f clients ops wr delay seed iters budget max_findings quiet save save_corpus domains =
+    if domains < 1 then begin
+      Printf.eprintf "--domains must be >= 1\n";
+      exit 1
+    end;
     let base =
       { Scenario.default with n; f; clients; ops_per_client = ops; write_ratio = wr; delay }
     in
     let log = if quiet then fun _ -> () else fun line -> Printf.printf "  %s\n%!" line in
-    let report = Fuzz.run ~base ~iterations:iters ?budget_s:budget ~max_findings ~log ~seed () in
-    Format.printf "%a@." Fuzz.pp_report report;
-    Option.iter
-      (fun dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        List.iteri
-          (fun i (fd : Fuzz.finding) ->
-            let name = Printf.sprintf "finding-%03d.trace" i in
-            let note = Printf.sprintf "fuzz campaign seed=%Ld step=%d" seed fd.step in
-            match save_finding ~dir ~name ~note fd.scenario with
-            | Some (path, verdict) -> Printf.printf "wrote %s (%s)\n" path verdict
-            | None -> ())
-          report.findings)
-      save;
+    let findings, corpus =
+      if domains = 1 then begin
+        let report =
+          Fuzz.run ~base ~iterations:iters ?budget_s:budget ~max_findings ~log ~seed ()
+        in
+        Format.printf "%a@." Fuzz.pp_report report;
+        (report.findings, report.corpus)
+      end
+      else begin
+        let p =
+          Fuzz.run_parallel ~base ~iterations:iters ?budget_s:budget ~max_findings ~log ~domains
+            ~seed ()
+        in
+        Format.printf "%a@." Fuzz.pp_parallel_report p;
+        (List.map snd p.merged_findings, p.merged_corpus)
+      end
+    in
+    Option.iter (fun dir -> save_findings ~dir ~seed findings) save;
+    Option.iter (fun dir -> save_corpus_entries ~dir ~seed ~domains corpus) save_corpus;
     List.iter
       (fun (fd : Fuzz.finding) ->
         Printf.printf "repro [%s]: %s\n"
           (Scenario.verdict_to_string fd.verdict)
           (repro_invocation fd.scenario))
-      report.findings;
-    if report.findings <> [] then exit 2
+      findings;
+    if findings <> [] then exit 2
   in
   let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Servers (try 5 to watch n > 5f fail).") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Byzantine bound.") in
@@ -1598,6 +1641,26 @@ let fuzz_cmd =
       & info [ "save" ] ~docv:"DIR"
           ~doc:"Save each finding as a replayable trace artifact (verdict in the header) in DIR.")
   in
+  let save_corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-corpus" ] ~docv:"DIR"
+          ~doc:
+            "Save every retained corpus entry (merged across domains) as a replayable trace \
+             artifact in DIR; `sbftreg corpus DIR` then asserts each replays to the recorded \
+             verdict.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Fan the campaign out across N OCaml domains, one independent deterministic campaign \
+             per domain (domain 0 uses --seed verbatim, so N=1 is exactly the single-threaded \
+             campaign; each extra domain runs a full --iters campaign at a derived seed). The \
+             merged corpus equals the union of the per-domain corpora.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -1606,7 +1669,7 @@ let fuzz_cmd =
           and report every run whose verdict is not ok (exit 2 when any finding surfaces)")
     Term.(
       const go $ n $ f $ clients $ ops $ wr $ delay_arg $ seed $ iters $ budget $ max_findings
-      $ quiet $ save)
+      $ quiet $ save $ save_corpus $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* shrink *)
@@ -1743,7 +1806,7 @@ let corpus_cmd =
 (* bench *)
 
 let bench_cmd =
-  let go quick json_path baseline_path tolerance =
+  let go quick json_path baseline_path tolerance strict =
     let module B = Sbft_harness.Benchmarks in
     let r = B.run ~quick () in
     Format.printf "%a@." B.pp r;
@@ -1760,8 +1823,15 @@ let bench_cmd =
         | Error e ->
             Printf.eprintf "cannot parse baseline %s: %s\n" path e;
             exit 2
-        | Ok baseline -> (
-            match B.compare_to_baseline ~tolerance ~baseline r with
+        | Ok baseline ->
+            let cmp = B.compare_to_baseline ~tolerance ~baseline r in
+            (* a metric absent from the baseline is NOT gated — say so
+               loudly, because a renamed metric looks exactly like this
+               and would otherwise pass as a clean run *)
+            List.iter
+              (fun metric -> Printf.printf "NEW (ungated) %s: no baseline entry\n" metric)
+              cmp.B.ungated;
+            (match cmp.B.regressions with
             | [] ->
                 Printf.printf "baseline %s: within %.0f%% tolerance\n" path (tolerance *. 100.)
             | regressions ->
@@ -1770,10 +1840,25 @@ let bench_cmd =
                     Printf.eprintf "REGRESSION %s: %.1f -> %.1f (%.0f%% of baseline)\n" metric
                       baseline current (ratio *. 100.))
                   regressions;
-                exit 1))
+                exit 1);
+            if strict && cmp.B.ungated <> [] then begin
+              Printf.eprintf
+                "strict: %d metric(s) not gated by %s — refresh the baseline to cover them\n"
+                (List.length cmp.B.ungated) path;
+              exit 3
+            end)
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test budgets (sub-second, 1k-op history).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit 3 when any measured metric is missing from the baseline (printed as NEW \
+             (ungated)) — so CI cannot pass on a renamed or newly added metric without a \
+             baseline refresh.")
   in
   let json_path =
     Arg.(
@@ -1800,7 +1885,7 @@ let bench_cmd =
        ~doc:
          "Measure hot-path throughput (engine events/sec, fuzz schedules/sec, checker latency) \
           and optionally gate against a committed baseline")
-    Term.(const go $ quick $ json_path $ baseline_path $ tolerance)
+    Term.(const go $ quick $ json_path $ baseline_path $ tolerance $ strict)
 
 let () =
   let doc = "stabilizing Byzantine-fault-tolerant MWMR regular register (IPPS 2015 reproduction)" in

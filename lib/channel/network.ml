@@ -42,9 +42,18 @@ type 'msg t = {
   mutable observer : (event:[ `Send | `Deliver ] -> src:int -> dst:int -> 'msg -> unit) option;
   node_sent : int array; (* per-endpoint breakdown for the metrics artifact *)
   node_delivered : int array;
+  (* Counter handles resolved once at creation: [send]/[deliver] run
+     per message, and the name lookup (plus the per-kind key-string
+     concatenation) dominated their metrics cost. *)
+  sent_c : Metrics.counter;
+  delivered_c : Metrics.counter;
+  dropped_c : Metrics.counter;
+  parked_c : Metrics.counter;
+  kind_sent : (string, Metrics.counter) Hashtbl.t; (* classify output -> handle *)
 }
 
 let create engine ~endpoints ?(servers = 0) ~delay ?classify ?(transport = Direct) () =
+  let m = Engine.metrics engine in
   {
     engine;
     n = endpoints;
@@ -67,6 +76,11 @@ let create engine ~endpoints ?(servers = 0) ~delay ?classify ?(transport = Direc
     observer = None;
     node_sent = Array.make endpoints 0;
     node_delivered = Array.make endpoints 0;
+    sent_c = Metrics.counter m Names.net_sent;
+    delivered_c = Metrics.counter m Names.net_delivered;
+    dropped_c = Metrics.counter m Names.net_dropped;
+    parked_c = Metrics.counter m Names.net_parked;
+    kind_sent = Hashtbl.create 16;
   }
 
 let engine t = t.engine
@@ -105,14 +119,21 @@ let notify t event ~src ~dst msg =
 
 let kind_of t msg = match t.classify with Some f -> f msg | None -> ""
 
+let kind_counter t kind =
+  match Hashtbl.find_opt t.kind_sent kind with
+  | Some c -> c
+  | None ->
+      let c = Metrics.counter (Engine.metrics t.engine) (Names.net_sent_kind_prefix ^ kind) in
+      Hashtbl.add t.kind_sent kind c;
+      c
+
 let drop t ~span ~src ~dst ~kind reason =
-  Metrics.incr (Engine.metrics t.engine) Names.net_dropped;
+  Metrics.counter_incr t.dropped_c;
   let tr = Engine.trace t.engine in
   if Trace.enabled tr then
     Trace.emit tr ~time:(Engine.now t.engine) (Event.Msg_dropped { src; dst; kind; reason; span })
 
 let deliver t ~span ~src ~dst msg =
-  let m = Engine.metrics t.engine in
   let tr = Engine.trace t.engine in
   Profile.enter t.profile Profile.Delivery;
   (if t.down.(dst) then drop t ~span ~src ~dst ~kind:(kind_of t msg) "crashed"
@@ -120,7 +141,7 @@ let deliver t ~span ~src ~dst msg =
      let kept = match t.tamper with None -> Some msg | Some hook -> hook ~src ~dst msg in
      match kept, t.handlers.(dst) with
      | Some payload, Some h ->
-         Metrics.incr m Names.net_delivered;
+         Metrics.counter_incr t.delivered_c;
          t.node_delivered.(dst) <- t.node_delivered.(dst) + 1;
          if Trace.enabled tr then
            Trace.emit tr ~time:(Engine.now t.engine)
@@ -175,11 +196,10 @@ let send t ~src ~dst msg =
   if not t.down.(src) then begin
     Profile.enter t.profile Profile.Delivery;
     let span = t.span_ctx in
-    let m = Engine.metrics t.engine in
-    Metrics.incr m Names.net_sent;
+    Metrics.counter_incr t.sent_c;
     t.node_sent.(src) <- t.node_sent.(src) + 1;
     (match t.classify with
-    | Some f -> Metrics.incr m (Names.net_sent_kind_prefix ^ f msg)
+    | Some f -> Metrics.counter_incr (kind_counter t (f msg))
     | None -> ());
     let tr = Engine.trace t.engine in
     if Trace.enabled tr then
@@ -187,7 +207,7 @@ let send t ~src ~dst msg =
         (Event.Msg_sent { src; dst; kind = kind_of t msg; span });
     notify t `Send ~src ~dst msg;
     (if partitioned t ~src ~dst then begin
-       Metrics.incr m Names.net_parked;
+       Metrics.counter_incr t.parked_c;
        Queue.push (src, dst, span, msg) t.parked_q
      end
      else transmit_now t ~span ~src ~dst msg);

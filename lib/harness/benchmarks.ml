@@ -34,11 +34,18 @@ type loadgen_overhead = {
   ops_per_run : int;
 }
 
+type fuzz_parallel_row = {
+  domains : int;
+  schedules_per_s : float; (* total across domains / wall-clock *)
+  executed : int;
+}
+
 type t = {
   engine_events_per_s : float;
   engine_runs : int;
   fuzz_schedules_per_s : float;
   fuzz_executed : int;
+  fuzz_parallel : fuzz_parallel_row list;
   checker : checker;
   overhead : overhead;
   series : series_overhead;
@@ -171,59 +178,85 @@ let bench_series ~min_s =
    seed and completed-op count driven by the closed-loop driver
    ({!Workload.run_kv}) and by {!Loadgen}'s open-loop engine at a
    constant rate safely under capacity.  Both sides finish exactly
-   [lg_ops] operations, so the wall-clock gap is pure generator
-   overhead — arrival schedule, admission queues, per-shard accounting
-   — which the acceptance criterion caps at 5%. *)
+   [lg_ops] operations, but the two pacings provoke measurably
+   different protocol traffic (the open loop's spread-out arrivals send
+   a few percent more messages per op than the closed loop's
+   think-then-go clients), so an ops/s ratio conflates schedule shape
+   with machinery cost.  The overhead bound therefore judges
+   wall-clock per {e simulation event}: fired thunks minus the one
+   pacing thunk per op each driver schedules for itself (think-time
+   wakeups on the closed side, arrival slots on the open side).  At
+   equal per-event protocol cost, any per-event gap is exactly the
+   generator's machinery — admission queues, accounting, hist records —
+   which the acceptance criterion caps at 5%.  Runs of the two drivers
+   interleave one-for-one inside each round so both sample the same
+   machine mood; separately-timed windows on a busy host disagree with
+   themselves by more than the budget being enforced. *)
 let lg_ops = 8 * 15
 
 let lg_store () =
   Sbft_kv.Store.create ~seed:17L ~trace_level:Sbft_sim.Trace.Off ~shards:8 ~n:6 ~f:1 ~clients:8 ()
 
-let lg_rate ~open_loop ~min_s =
-  let completed = ref 0 in
-  let one () =
-    let store = lg_store () in
-    if open_loop then (
-      let spec =
-        {
-          Loadgen.default with
-          Loadgen.mode = Loadgen.Open_loop (Loadgen.Const 0.25);
-          duration = 10 * lg_ops;
-          ops = Some lg_ops;
-          keys = 32;
-          max_queue = 4 * lg_ops;
-        }
-      in
-      let o = Loadgen.run ~spec store in
-      if o.Loadgen.completed <> lg_ops then
-        failwith "bench_loadgen: open loop did not complete every offered op";
-      completed := !completed + o.Loadgen.completed)
-    else
-      let out =
-        Workload.run_kv
-          ~spec:{ Workload.default_kv with Workload.kv_ops_per_client = 15; Workload.keys = 32 }
-          store
-      in
-      completed := !completed + out.Workload.issued_puts + out.Workload.issued_gets
+(* Each returns the run's fired-thunk count net of its own pacing
+   thunks (one per completed op on both sides). *)
+let lg_closed_one () =
+  let store = lg_store () in
+  let out =
+    Workload.run_kv
+      ~spec:{ Workload.default_kv with Workload.kv_ops_per_client = 15; Workload.keys = 32 }
+      store
   in
-  let _runs, elapsed = repeat_for ~min_s one in
-  float_of_int !completed /. elapsed
+  if out.Workload.issued_puts + out.Workload.issued_gets <> lg_ops then
+    failwith "bench_loadgen: closed loop did not issue every op";
+  Sbft_sim.Engine.events_fired (Sbft_kv.Store.engine store) - lg_ops
+
+let lg_open_one () =
+  let store = lg_store () in
+  let spec =
+    {
+      Loadgen.default with
+      Loadgen.mode = Loadgen.Open_loop (Loadgen.Const 0.25);
+      duration = 10 * lg_ops;
+      ops = Some lg_ops;
+      keys = 32;
+      max_queue = 4 * lg_ops;
+    }
+  in
+  let o = Loadgen.run ~spec store in
+  if o.Loadgen.completed <> lg_ops then
+    failwith "bench_loadgen: open loop did not complete every offered op";
+  Sbft_sim.Engine.events_fired (Sbft_kv.Store.engine store) - lg_ops
 
 let bench_loadgen ~min_s =
-  (* Same paired-rounds discipline as {!bench_series}: the 5% bound
-     judges a ratio, so measure both drivers back-to-back and keep the
-     friendliest pair — if even that round shows the generator over
-     budget, the cost is real. *)
+  (* Same best-of-rounds discipline as {!bench_series}: if even the
+     friendliest round shows the generator over budget, the cost is
+     real. *)
   let rounds = 3 in
   let round_s = Float.max 0.05 (min_s /. float_of_int rounds) in
   let best = ref None in
   for _ = 1 to rounds do
-    let closed = lg_rate ~open_loop:false ~min_s:round_s in
-    let opened = lg_rate ~open_loop:true ~min_s:round_s in
-    let pct = if closed <= 0.0 then 0.0 else 100.0 *. (1.0 -. (opened /. closed)) in
+    let t_closed = ref 0.0 and t_open = ref 0.0 in
+    let ev_closed = ref 0 and ev_open = ref 0 in
+    let pairs = ref 0 in
+    let t0 = Clock.now_ns () in
+    while Clock.elapsed_s t0 < round_s || !pairs = 0 do
+      let a = Clock.now_ns () in
+      ev_closed := !ev_closed + lg_closed_one ();
+      let b = Clock.now_ns () in
+      ev_open := !ev_open + lg_open_one ();
+      let c = Clock.now_ns () in
+      t_closed := !t_closed +. (Clock.elapsed_s a -. Clock.elapsed_s b);
+      t_open := !t_open +. (Clock.elapsed_s b -. Clock.elapsed_s c);
+      incr pairs
+    done;
+    let ops = float_of_int (!pairs * lg_ops) in
+    let closed_ops = ops /. !t_closed and open_ops = ops /. !t_open in
+    let closed_ev = float_of_int !ev_closed /. !t_closed in
+    let open_ev = float_of_int !ev_open /. !t_open in
+    let pct = if closed_ev <= 0.0 then 0.0 else 100.0 *. (1.0 -. (open_ev /. closed_ev)) in
     match !best with
     | Some (_, _, p) when p <= pct -> ()
-    | _ -> best := Some (closed, opened, pct)
+    | _ -> best := Some (closed_ops, open_ops, pct)
   done;
   let closed, opened, pct = Option.get !best in
   {
@@ -238,6 +271,26 @@ let bench_fuzz ~iterations =
     time_once (fun () -> Fuzz.run ~base:Scenario.default ~iterations ~seed:7L ())
   in
   (float_of_int report.Fuzz.executed /. elapsed, report.Fuzz.executed)
+
+(* Scaling rows: each domain runs a full [iterations]-step campaign, so
+   total work grows with the domain count and the quotient
+   total-executed / wall-clock is the aggregate campaign throughput.
+   On a single-core host the rows flatline (the domains time-slice one
+   CPU); the rows still pin the merge overhead at ~zero and document
+   the scaling shape of the machine that produced the baseline. *)
+let bench_fuzz_parallel ~iterations ~domain_counts =
+  List.map
+    (fun domains ->
+      let p, elapsed =
+        time_once (fun () ->
+            Fuzz.run_parallel ~base:Scenario.default ~iterations ~domains ~seed:7L ())
+      in
+      {
+        domains;
+        schedules_per_s = float_of_int p.Fuzz.total_executed /. elapsed;
+        executed = p.Fuzz.total_executed;
+      })
+    domain_counts
 
 let bench_checker ~n_ops ~min_s =
   let h = synthetic_history ~seed:21L ~n_ops ~reads_per_write:9 in
@@ -267,6 +320,11 @@ let run ?(quick = false) () =
   let min_s = if quick then 0.05 else 0.4 in
   let engine_events_per_s, engine_runs = bench_engine ~min_s in
   let fuzz_schedules_per_s, fuzz_executed = bench_fuzz ~iterations:(if quick then 30 else 150) in
+  let fuzz_parallel =
+    bench_fuzz_parallel
+      ~iterations:(if quick then 10 else 60)
+      ~domain_counts:[ 1; 2; 4; 8 ]
+  in
   let checker = bench_checker ~n_ops:(if quick then 1_000 else 10_000) ~min_s in
   let overhead = bench_overhead ~min_s in
   let series = bench_series ~min_s in
@@ -276,6 +334,7 @@ let run ?(quick = false) () =
     engine_runs;
     fuzz_schedules_per_s;
     fuzz_executed;
+    fuzz_parallel;
     checker;
     overhead;
     series;
@@ -297,6 +356,17 @@ let to_json r =
             ("schedules_per_s", J.Float r.fuzz_schedules_per_s);
             ("executed", J.Int r.fuzz_executed);
           ] );
+      ( "fuzz_parallel",
+        J.Obj
+          (List.map
+             (fun row ->
+               ( Printf.sprintf "domains_%d" row.domains,
+                 J.Obj
+                   [
+                     ("schedules_per_s", J.Float row.schedules_per_s);
+                     ("executed", J.Int row.executed);
+                   ] ))
+             r.fuzz_parallel) );
       ( "checker",
         J.Obj
           [
@@ -337,11 +407,17 @@ let pp fmt r =
   Format.fprintf fmt
     "@[<v>engine:  %.0f events/s (%d runs timed)@,\
      fuzz:    %.1f schedules/s (%d executed)@,\
+     fuzzpar: %s@,\
      checker: %.1f us/history (%d ops: %d writes, %d reads); oracle %.1f us; speedup %.1fx@,\
      tracing: off %.0f ev/s, sampled %.0f ev/s (%.1f%% slower), full %.0f ev/s (%.1f%% slower)@,\
      series:  kv off %.0f ev/s, on %.0f ev/s (%.1f%% slower)@,\
      loadgen: closed %.0f ops/s, open %.0f ops/s (%.1f%% slower; %d ops each)@]"
-    r.engine_events_per_s r.engine_runs r.fuzz_schedules_per_s r.fuzz_executed r.checker.sweep_us
+    r.engine_events_per_s r.engine_runs r.fuzz_schedules_per_s r.fuzz_executed
+    (String.concat ", "
+       (List.map
+          (fun row -> Printf.sprintf "%dd %.1f sched/s" row.domains row.schedules_per_s)
+          r.fuzz_parallel))
+    r.checker.sweep_us
     r.checker.hist_ops r.checker.hist_writes r.checker.hist_reads r.checker.oracle_us
     r.checker.speedup r.overhead.off_events_per_s r.overhead.sampled_events_per_s
     r.overhead.sampled_overhead_pct r.overhead.full_events_per_s r.overhead.full_overhead_pct
@@ -353,6 +429,8 @@ let pp fmt r =
 (* Baseline comparison: the CI regression gate. *)
 
 type regression = { metric : string; baseline : float; current : float; ratio : float }
+
+type comparison = { regressions : regression list; ungated : string list }
 
 let number json path =
   let rec go json = function
@@ -381,12 +459,29 @@ let compare_to_baseline ~tolerance ~baseline r =
         number baseline [ "loadgen_overhead"; "open_ops_per_s" ],
         r.loadgen.open_ops_per_s );
     ]
+    @ List.map
+        (fun row ->
+          ( Printf.sprintf "fuzz_parallel.schedules_per_s_%dd" row.domains,
+            number baseline
+              [ "fuzz_parallel"; Printf.sprintf "domains_%d" row.domains; "schedules_per_s" ],
+            row.schedules_per_s ))
+        r.fuzz_parallel
+  in
+  (* A gate silently skipping a metric absent from the baseline is how
+     a renamed metric sneaks past CI (PR 6's bug): collect the skipped
+     names so callers can print them loudly — and fail under strict
+     mode — instead of reporting a clean pass. *)
+  let ungated =
+    List.filter_map
+      (fun (metric, base, _) ->
+        match base with None | Some 0.0 -> Some metric | Some _ -> None)
+      gates
   in
   let relative =
     List.filter_map
       (fun (metric, base, current) ->
         match base with
-        | None | Some 0.0 -> None (* metric absent from baseline: nothing to gate *)
+        | None | Some 0.0 -> None (* absent from baseline: reported via [ungated] *)
         | Some base ->
             let ratio = current /. base in
             if ratio < 1.0 -. tolerance then Some { metric; baseline = base; current; ratio }
@@ -428,4 +523,4 @@ let compare_to_baseline ~tolerance ~baseline r =
         ]
     | _ -> []
   in
-  relative @ absolute @ loadgen_abs
+  { regressions = relative @ absolute @ loadgen_abs; ungated }

@@ -54,8 +54,22 @@ type loadgen_overhead = {
   open_ops_per_s : float;
       (** {!Loadgen} open loop (constant rate under capacity) completing
           the same [ops_per_run] ops on an identical store *)
-  loadgen_overhead_pct : float;  (** percent slower; the acceptance cap is 5 *)
+  loadgen_overhead_pct : float;
+      (** percent slower {e per simulation event} (fired thunks net of
+          each driver's own per-op pacing thunk), interleaved
+          run-for-run with the closed driver; the two pacings provoke
+          slightly different protocol traffic, so a raw ops/s ratio
+          would gate schedule shape, not machinery.  The acceptance cap
+          is 5. *)
   ops_per_run : int;  (** completed ops per timed run, identical on both sides *)
+}
+
+type fuzz_parallel_row = {
+  domains : int;
+  schedules_per_s : float;
+      (** aggregate campaign throughput: total executed across all
+          domains / wall-clock (each domain runs a full campaign) *)
+  executed : int;
 }
 
 type t = {
@@ -63,6 +77,7 @@ type t = {
   engine_runs : int;  (** scenario executions the rate was averaged over *)
   fuzz_schedules_per_s : float;
   fuzz_executed : int;
+  fuzz_parallel : fuzz_parallel_row list;  (** {!Fuzz.run_parallel} at 1/2/4/8 domains *)
   checker : checker;
   overhead : overhead;
   series : series_overhead;
@@ -89,19 +104,28 @@ type regression = {
   ratio : float;  (** current / baseline, < 1 - tolerance *)
 }
 
-val compare_to_baseline :
-  tolerance:float -> baseline:Sbft_sim.Json.t -> t -> regression list
-(** Gate on five rates: engine events/sec, fuzz schedules/sec, checker
+type comparison = {
+  regressions : regression list;  (** empty = gate passes *)
+  ungated : string list;
+      (** metrics measured now but absent from (or zero in) the
+          baseline: each is NEW and {e not} gated — callers must surface
+          these loudly, since a renamed metric otherwise sails past CI
+          as a clean pass *)
+}
+
+val compare_to_baseline : tolerance:float -> baseline:Sbft_sim.Json.t -> t -> comparison
+(** Gate on the relative rates: engine events/sec, fuzz schedules/sec,
+    parallel-fuzz schedules/sec per domain-count row, checker
     throughput (1e6 / sweep µs), tracing-off events/sec (the no-op
     fast path must not silently grow a cost) and series-on kv
     events/sec.  A metric regresses when
     [current < (1 - tolerance) * baseline]; metrics missing from the
-    baseline are skipped — so pre-PR6 baselines only gate the first
-    three, and BENCH_PR5-era engine numbers (emitted-event based,
-    strictly lower than fired-thunk counts) can never false-fail.
+    baseline are returned in [ungated] rather than silently skipped —
+    so pre-PR6 baselines only gate the first three, and BENCH_PR5-era
+    engine numbers (emitted-event based, strictly lower than
+    fired-thunk counts) can never false-fail.
     Additionally, when the baseline carries a series row, the series
     overhead is gated {e absolutely} at 5% — the streaming pipeline's
     hot-path budget, independent of machine speed — and likewise the
     open-loop generator's overhead vs. the closed-loop driver at equal
-    completed-op count once the baseline carries a loadgen row.  Empty
-    list = gate passes. *)
+    completed-op count once the baseline carries a loadgen row. *)

@@ -56,9 +56,13 @@ let mutate rng (s : Scenario.t) =
   else s
 
 let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings = 10)
-    ?(max_events = 4_000_000) ?(log = fun _ -> ()) ~seed () =
+    ?(max_events = 4_000_000) ?(log = fun _ -> ()) ?on_retain ~seed () =
   let rng = Rng.create seed in
   let global = Coverage.create () in
+  (* One scratch set reused across schedules, fed by a trace sink, so a
+     run's coverage never materializes the event list at all. *)
+  let scratch = Coverage.create () in
+  let sink ~time:(_ : int) ev = Coverage.observe scratch ev in
   (* Chronological dynamic array: O(1) retention and O(1) parent pick.
      The corpus grows with every coverage gain, and the previous list
      representation paid an O(corpus) [List.nth] on every iteration.
@@ -85,7 +89,8 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
     match budget_s with Some b -> Clock.elapsed_s started > b | None -> false
   in
   let execute step s =
-    match Scenario.execute ~max_events s with
+    Coverage.reset scratch;
+    match Scenario.execute ~sink ~collect_events:false ~max_events s with
     | Error e ->
         (* mutations only compose known names, so this is unexpected —
            count it rather than hide it *)
@@ -100,8 +105,17 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
     match execute step s with
     | None -> ()
     | Some r ->
-        let gained = Coverage.absorb ~into:global (Coverage.of_events r.events) in
-        if gained > 0 then retain s;
+        let gained, fresh_keys =
+          match on_retain with
+          | None -> (Coverage.absorb ~into:global scratch, [])
+          | Some _ ->
+              let ks = Coverage.absorb_keys ~into:global scratch in
+              (List.length ks, ks)
+        in
+        if gained > 0 then begin
+          retain s;
+          match on_retain with Some f -> f s fresh_keys | None -> ()
+        end;
         (match Scenario.verdict_of_run r with
         | Scenario.Pass -> ()
         | verdict ->
@@ -147,6 +161,116 @@ let run ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings 
     stopped_by = !stopped;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel campaigns.
+
+   One fully independent deterministic campaign per domain: domain 0
+   runs the caller's seed verbatim (so [--domains 1] is the single
+   threaded campaign, byte for byte) and domain [i] a seed derived by
+   a fixed odd-multiplier mix.  Retention decisions use only the
+   domain's local coverage — cross-domain knowledge must not influence
+   them, or the per-seed determinism contract (and the corpus-union
+   property) would break.  What crosses domains is the merge queue:
+   every retention pushes a batch carrying the scenario and the key
+   strings it minted (ids are domain-local, strings are the wire
+   format), and the merge — deterministic because batches are ordered
+   by (domain, batch seq), not arrival — unions coverage and drops
+   scenarios a lower-numbered domain already retained. *)
+
+module Merge_queue = struct
+  type batch = {
+    domain : int;
+    seq : int; (* per-domain batch counter: fixes merge order *)
+    scenario : Scenario.t;
+    keys : string list; (* coverage keys new to that domain *)
+  }
+
+  type t = { mu : Mutex.t; mutable batches : batch list }
+
+  let create () = { mu = Mutex.create (); batches = [] }
+
+  let push q b =
+    Mutex.lock q.mu;
+    q.batches <- b :: q.batches;
+    Mutex.unlock q.mu
+
+  let drain q =
+    Mutex.lock q.mu;
+    let bs = q.batches in
+    q.batches <- [];
+    Mutex.unlock q.mu;
+    List.sort
+      (fun a b -> if a.domain <> b.domain then compare a.domain b.domain else compare a.seq b.seq)
+      bs
+end
+
+let domain_seed ~seed i =
+  if i = 0 then seed
+  else Int64.add seed (Int64.mul (Int64.of_int i) 0x9E3779B97F4A7C15L)
+
+type domain_report = { domain : int; seed_used : int64; report : report }
+
+type parallel_report = {
+  domains : int;
+  per_domain : domain_report list;
+  merged_corpus : Scenario.t list;
+  merged_coverage : int;
+  merged_findings : (int * finding) list;
+  total_executed : int;
+  total_skipped : int;
+}
+
+let run_parallel ?(base = Scenario.default) ?(iterations = 200) ?budget_s ?(max_findings = 10)
+    ?(max_events = 4_000_000) ?(log = fun _ -> ()) ?(domains = 1) ~seed () =
+  if domains < 1 then invalid_arg "Fuzz.run_parallel: domains must be >= 1";
+  let q = Merge_queue.create () in
+  let results =
+    Par.spawn_map ~domains (fun d ->
+        let dseed = domain_seed ~seed d in
+        let lines = ref [] in
+        let batch_seq = ref 0 in
+        let on_retain scenario keys =
+          Merge_queue.push q { Merge_queue.domain = d; seq = !batch_seq; scenario; keys };
+          incr batch_seq
+        in
+        let r =
+          run ~base ~iterations ?budget_s ~max_findings ~max_events
+            ~log:(fun line -> lines := line :: !lines)
+            ~on_retain ~seed:dseed ()
+        in
+        (d, dseed, r, List.rev !lines))
+  in
+  (* Worker log lines are buffered per domain and replayed here, in
+     domain order, so the caller's [log] is never called concurrently. *)
+  List.iter
+    (fun (d, _, _, lines) ->
+      List.iter (fun line -> log (Printf.sprintf "[d%d] %s" d line)) lines)
+    results;
+  let merged_cov = Coverage.create () in
+  let seen = Hashtbl.create 64 in
+  let merged = ref [] in
+  List.iter
+    (fun (b : Merge_queue.batch) ->
+      List.iter (fun k -> ignore (Coverage.add_key merged_cov k : bool)) b.keys;
+      if not (Hashtbl.mem seen b.scenario) then begin
+        Hashtbl.add seen b.scenario ();
+        merged := b.scenario :: !merged
+      end)
+    (Merge_queue.drain q);
+  let per_domain =
+    List.map (fun (d, dseed, r, _) -> { domain = d; seed_used = dseed; report = r }) results
+  in
+  {
+    domains;
+    per_domain;
+    merged_corpus = List.rev !merged;
+    merged_coverage = Coverage.cardinal merged_cov;
+    merged_findings =
+      List.concat_map (fun dr -> List.map (fun f -> (dr.domain, f)) dr.report.findings) per_domain;
+    total_executed = List.fold_left (fun acc dr -> acc + dr.report.executed) 0 per_domain;
+    total_skipped = List.fold_left (fun acc dr -> acc + dr.report.skipped) 0 per_domain;
+  }
+
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>fuzz: %d runs (%d skipped), %d coverage keys, corpus %d, %d findings%s@,"
     r.executed r.skipped r.coverage (List.length r.corpus) (List.length r.findings)
@@ -163,4 +287,32 @@ let pp_report fmt r =
         (if f.scenario.corrupt then " corrupt" else "")
         (Fault_plan.to_string f.scenario.plan))
     r.findings;
+  Format.fprintf fmt "@]"
+
+let pp_parallel_report fmt (p : parallel_report) =
+  Format.fprintf fmt
+    "@[<v>fuzz[%d domains]: %d runs (%d skipped), merged coverage %d, merged corpus %d, %d findings@,"
+    p.domains p.total_executed p.total_skipped p.merged_coverage
+    (List.length p.merged_corpus)
+    (List.length p.merged_findings);
+  List.iter
+    (fun dr ->
+      Format.fprintf fmt "  domain %d (seed %Ld): %d runs, coverage %d, corpus %d, %d findings%s@,"
+        dr.domain dr.seed_used dr.report.executed dr.report.coverage
+        (List.length dr.report.corpus)
+        (List.length dr.report.findings)
+        (match dr.report.stopped_by with
+        | `Iterations -> ""
+        | `Budget -> " [budget]"
+        | `Findings -> " [finding cap]"))
+    p.per_domain;
+  List.iter
+    (fun (d, f) ->
+      Format.fprintf fmt "  d%d step %d: %s seed=%Ld delay=%s strategy=%s%s plan=[%s]@," d f.step
+        (Scenario.verdict_to_string f.verdict)
+        f.scenario.seed f.scenario.delay
+        (Option.value ~default:"none" f.scenario.strategy)
+        (if f.scenario.corrupt then " corrupt" else "")
+        (Fault_plan.to_string f.scenario.plan))
+    p.merged_findings;
   Format.fprintf fmt "@]"

@@ -51,6 +51,7 @@ val run :
   ?max_findings:int ->
   ?max_events:int ->
   ?log:(string -> unit) ->
+  ?on_retain:(Scenario.t -> string list -> unit) ->
   seed:int64 ->
   unit ->
   report
@@ -60,6 +61,60 @@ val run :
     campaign blocked on trace I/O still stops on schedule) or
     [max_findings] findings accumulate.  [max_events] bounds each single execution (default 4M,
     well above any honest run at the capped workload sizes).  [log]
-    receives one line per notable step. *)
+    receives one line per notable step.  [on_retain] observes every
+    corpus retention: the retained scenario plus the coverage keys it
+    was first to reach (sorted) — the feed for {!run_parallel}'s merge
+    queue.  It must only observe; campaign decisions never depend on
+    it. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Domain-parallel campaigns}
+
+    One independent deterministic campaign per OCaml domain.  Domain 0
+    uses the caller's seed verbatim; domain [i] a fixed derivation
+    {!domain_seed}.  Retention stays local to each domain (the per-seed
+    determinism contract: a domain's campaign produces the byte
+    identical corpus it produces single-threaded), and the merge is a
+    deterministic fold over (domain, retention-order)-sorted batches of
+    interned coverage-key strings — so for fixed seeds the merged
+    corpus equals the union of the single-domain corpora, at any
+    domain count, on any scheduling. *)
+
+val domain_seed : seed:int64 -> int -> int64
+(** [domain_seed ~seed i] is the campaign seed of domain [i]:
+    [seed] itself at [i = 0], a splitmix-style mix otherwise. *)
+
+type domain_report = { domain : int; seed_used : int64; report : report }
+
+type parallel_report = {
+  domains : int;
+  per_domain : domain_report list;  (** in domain order *)
+  merged_corpus : Scenario.t list;
+      (** union of per-domain corpora, first-retainer order, duplicates
+          (same scenario retained by several domains) kept once *)
+  merged_coverage : int;  (** distinct coverage keys across all domains *)
+  merged_findings : (int * finding) list;  (** tagged with their domain *)
+  total_executed : int;
+  total_skipped : int;
+}
+
+val run_parallel :
+  ?base:Scenario.t ->
+  ?iterations:int ->
+  ?budget_s:float ->
+  ?max_findings:int ->
+  ?max_events:int ->
+  ?log:(string -> unit) ->
+  ?domains:int ->
+  seed:int64 ->
+  unit ->
+  parallel_report
+(** Fan [domains] (default 1) campaigns out across domains, each with
+    {!run}'s semantics at its {!domain_seed} and the {e same}
+    [iterations]/[budget_s]/[max_findings]/[max_events] — so total work
+    scales with [domains].  Worker log lines are buffered and replayed
+    through [log] after the joins, prefixed ["[d<i>] "], never
+    concurrently. *)
+
+val pp_parallel_report : Format.formatter -> parallel_report -> unit

@@ -30,6 +30,7 @@ type error =
   | Invalid_concurrency of int
   | Invalid_think of int
   | Invalid_keys of int
+  | Invalid_zipf of float
 
 exception Invalid of error
 
@@ -46,6 +47,8 @@ let error_to_string = function
   | Invalid_concurrency c -> Printf.sprintf "closed-loop concurrency must be at least 1 (got %d)" c
   | Invalid_think t -> Printf.sprintf "closed-loop think_max must be at least 1 (got %d)" t
   | Invalid_keys k -> Printf.sprintf "key-space size must be at least 1 (got %d)" k
+  | Invalid_zipf s ->
+      Printf.sprintf "zipf_s must be a non-negative number (0 = uniform; got %g)" s
 
 let check_rate r =
   if Float.is_nan r || r <= 0.0 then raise (Invalid (Invalid_rate r));
@@ -88,6 +91,8 @@ let validate spec =
     if Float.is_nan spec.write_ratio || spec.write_ratio < 0.0 || spec.write_ratio > 1.0 then
       raise (Invalid (Invalid_mix spec.write_ratio));
     if spec.keys < 1 then raise (Invalid (Invalid_keys spec.keys));
+    if Float.is_nan spec.zipf_s || spec.zipf_s < 0.0 then
+      raise (Invalid (Invalid_zipf spec.zipf_s));
     if spec.max_queue < 1 then raise (Invalid (Invalid_queue_cap spec.max_queue));
     (match spec.mode with
     | Open_loop a -> check_arrival a
@@ -110,6 +115,13 @@ let schedule ?ops ~rng ~duration arrival =
   check_arrival arrival;
   if duration < 1 then raise (Invalid (Invalid_duration duration));
   let cap = match ops with Some n -> max 0 n | None -> max_int in
+  (* A flat ramp is a constant rate.  The arithmetic already agrees
+     bitwise — [(b -. a) *. frac] is exactly [0.0] when [a = b], so the
+     gap is [1.0 /. a] either way — but normalizing here makes the
+     equivalence structural rather than a property of float rounding,
+     and drops the per-arrival frac computation for the degenerate
+     spelling. *)
+  let arrival = match arrival with Ramp (a, b) when a = b -> Const a | a -> a in
   let gap tau =
     match arrival with
     | Const r -> 1.0 /. r
@@ -242,7 +254,8 @@ let run ?(max_events = 200_000_000) ~spec store =
   let start = Engine.now engine in
   let shards = Store.shard_count store in
   let nclients = Store.client_count store in
-  let cdf = Workload.zipf_cdf ~keys:spec.keys ~s:(Float.max 0.0 spec.zipf_s) in
+  (* validate already vetted keys and zipf_s; no clamp needed here *)
+  let cdf = Workload.zipf_cdf ~keys:spec.keys ~s:spec.zipf_s in
   let key_names = Array.init spec.keys (fun r -> Printf.sprintf "key-%d" r) in
   let next_value = ref spec.value_base in
   (* fleet accounting *)

@@ -49,6 +49,7 @@ type error =
   | Invalid_concurrency of int
   | Invalid_think of int
   | Invalid_keys of int
+  | Invalid_zipf of float  (** NaN or negative skew exponent *)
 
 exception Invalid of error
 

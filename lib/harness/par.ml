@@ -1,0 +1,29 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Every job's outcome is captured as a [result] inside its domain, so
+   a raising job never leaves a sibling unjoined; the first failure is
+   re-raised only after every domain has been joined. *)
+let spawn_map ~domains f =
+  if domains < 1 then invalid_arg "Par.spawn_map: domains must be >= 1";
+  if domains = 1 then [ f 0 ]
+  else begin
+    let wrap g = try Ok (g ()) with e -> Error e in
+    let spawned =
+      Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> wrap (fun () -> f (i + 1))))
+    in
+    let first = wrap (fun () -> f 0) in
+    let rest = Array.to_list (Array.map Domain.join spawned) in
+    List.map (function Ok v -> v | Error e -> raise e) (first :: rest)
+  end
+
+let map_slices ~domains items f =
+  let n = Array.length items in
+  let domains = max 1 (min domains n) in
+  let results =
+    spawn_map ~domains (fun d ->
+        (* static block partition: slice boundaries depend only on
+           [n] and [domains], so the work division is deterministic *)
+        let lo = d * n / domains and hi = (d + 1) * n / domains in
+        Array.init (hi - lo) (fun i -> f (lo + i) items.(lo + i)))
+  in
+  Array.concat results

@@ -1,0 +1,23 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    The harness's parallelism is intentionally rigid: a fixed number of
+    domains, work assigned by index before anything runs, results
+    returned in index order.  Nothing about the output depends on
+    scheduling, so campaigns and property suites stay reproducible to
+    the byte at any [domains] — parallelism only changes wall-clock
+    time.  Domain-local state (e.g. {!Sbft_sim.Coverage}'s intern
+    table) is minted fresh per domain; exchange results by value. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val spawn_map : domains:int -> (int -> 'a) -> 'a list
+(** [spawn_map ~domains f] runs [f 0 .. f (domains-1)], one call per
+    domain ([f 0] on the calling domain), and returns the results in
+    index order.  Every domain is joined even if some call raises; the
+    first exception (in index order) is then re-raised. *)
+
+val map_slices : domains:int -> 'a array -> (int -> 'a -> 'b) -> 'b array
+(** [map_slices ~domains items f] maps [f] over [items] (with index),
+    statically block-partitioned across at most [domains] domains.
+    Result order matches [items] order regardless of scheduling. *)

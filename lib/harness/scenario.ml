@@ -108,7 +108,7 @@ let incomplete_ops ?(since = 0) h =
        (History.ops h))
 
 let execute ?sink ?(level = Trace.On) ?sample ?(profile = false) ?on_system
-    ?(max_events = 20_000_000) t =
+    ?(collect_events = true) ?(max_events = 20_000_000) t =
   let ( let* ) = Result.bind in
   let* strategy =
     match t.strategy with
@@ -146,7 +146,8 @@ let execute ?sink ?(level = Trace.On) ?sample ?(profile = false) ?on_system
      keeps the forensic window.  The profiler's event attribution
      follows the same stream — it counts what the artifact contains. *)
   let events = ref [] in
-  Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
+  if collect_events then
+    Trace.add_sink tr (fun ~time ev -> events := (time, ev) :: !events);
   if profile then Trace.add_sink tr (Sbft_sim.Profile.event_sink prof);
   Option.iter (Trace.add_sink tr) sink;
   (match strategy with Some s -> ignore (Strategy.install_all sys s) | None -> ());

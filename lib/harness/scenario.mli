@@ -77,6 +77,7 @@ val execute :
   ?sample:float ->
   ?profile:bool ->
   ?on_system:(Sbft_core.System.t -> unit) ->
+  ?collect_events:bool ->
   ?max_events:int ->
   t ->
   (run, string) result
@@ -93,8 +94,11 @@ val execute :
     runs once after the system is built and faults are scheduled but
     before the workload starts — the hook the CLI uses to attach a
     {!Progress} heartbeat; it must only observe, never perturb.
-    [max_events] bounds the engine (default 20M; the fuzzer lowers
-    it).  [Error] only for an unknown strategy or delay-policy name. *)
+    [collect_events] (default [true]) materializes the [events] list;
+    the fuzzer turns it off and feeds coverage through [sink] instead,
+    skipping a cons per event plus the final reversal.  [max_events]
+    bounds the engine (default 20M; the fuzzer lowers it).  [Error]
+    only for an unknown strategy or delay-policy name. *)
 
 val violation_kind : Sbft_spec.Regularity.violation -> string
 (** Short tag for the event record: stale/future/unwritten/inversion/order. *)

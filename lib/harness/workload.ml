@@ -92,9 +92,18 @@ type kv_outcome = {
 
 (* Zipfian(s) over key ranks 0..keys-1: weight(r) = 1/(r+1)^s,
    precomputed as a normalized CDF sampled by binary search — the
-   standard hot-key skew (rank 0 is the hottest key).  [zipf_s = 0]
-   degenerates to uniform. *)
+   standard hot-key skew (rank 0 is the hottest key).  The boundaries
+   are pinned, not left to float accident: [s = 0] degenerates to
+   uniform (every weight is 1), [keys = 1] to the constant sampler
+   (cdf = [|1.0|]).  [s < 0] would invert the skew — rank [keys-1]
+   hottest, unbounded as keys grow — which no caller means by "zipf";
+   it and NaN (which would poison the whole CDF and make the binary
+   search silently return rank 0 forever) are rejected rather than
+   clamped. *)
 let zipf_cdf ~keys ~s =
+  if keys < 1 then invalid_arg (Printf.sprintf "Workload.zipf_cdf: keys must be >= 1 (got %d)" keys);
+  if Float.is_nan s || s < 0.0 then
+    invalid_arg (Printf.sprintf "Workload.zipf_cdf: s must be a non-negative number (got %g)" s);
   let w = Array.init keys (fun r -> 1.0 /. Float.pow (float_of_int (r + 1)) s) in
   let total = Array.fold_left ( +. ) 0.0 w in
   let acc = ref 0.0 in
@@ -115,9 +124,12 @@ let zipf_pick rng cdf =
 
 let run_kv ?(spec = default_kv) ?(max_events = 50_000_000) (store : Store.t) =
   if spec.keys < 1 then invalid_arg "Workload.run_kv: need at least one key";
+  if Float.is_nan spec.zipf_s || spec.zipf_s < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Workload.run_kv: zipf_s must be a non-negative number (got %g)" spec.zipf_s);
   let engine = Store.engine store in
   let rng = Rng.split (Engine.rng engine) in
-  let cdf = zipf_cdf ~keys:spec.keys ~s:(Float.max 0.0 spec.zipf_s) in
+  let cdf = zipf_cdf ~keys:spec.keys ~s:spec.zipf_s in
   let key_names = Array.init spec.keys (fun r -> Printf.sprintf "key-%d" r) in
   let next_value = ref spec.kv_value_base in
   let issued_puts = ref 0 and issued_gets = ref 0 and aborted_gets = ref 0 in

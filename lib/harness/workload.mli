@@ -77,7 +77,11 @@ val run_kv : ?spec:kv_spec -> ?max_events:int -> Sbft_kv.Store.t -> kv_outcome
 
 val zipf_cdf : keys:int -> s:float -> float array
 (** Normalized CDF over key ranks [0 .. keys-1] with weight
-    [1/(rank+1)^s]; [s = 0] degenerates to uniform. *)
+    [1/(rank+1)^s].  The boundaries are defined, not accidental:
+    [s = 0] degenerates to uniform and [keys = 1] to the constant
+    sampler [[|1.0|]].  Raises [Invalid_argument] on [keys < 1] or on a
+    NaN or negative [s] — a negative exponent inverts the skew, and a
+    NaN CDF would make {!zipf_pick} silently return rank 0 forever. *)
 
 val zipf_pick : Sbft_sim.Rng.t -> float array -> int
 (** Binary-search one rank from a {!zipf_cdf} (one uniform draw). *)

@@ -19,12 +19,26 @@
     The key space is finite by construction (all components are drawn
     from small enumerations or log-bucketed), so a fuzzing campaign's
     global coverage saturates instead of growing with trace length.
-    Everything is deterministic in the event stream. *)
+    Everything is deterministic in the event stream.
+
+    Keys are interned to dense integer ids in a per-domain table
+    ([Domain.DLS]), and a set is a bitset over those ids — so sets are
+    cheap to build and merge within one domain, and safe to build
+    concurrently from several domains.  Ids are not comparable across
+    domains; [absorb] detects the cross-domain case and translates
+    through the key strings, and [add_key]/[keys] exchange strings
+    explicitly (the corpus-merge protocol). *)
 
 type t
-(** Mutable key set, plus the last unigram for bigram formation. *)
+(** Mutable key set, plus the last unigram for bigram formation.
+    Bound to the intern table of the domain that [create]d it: call
+    [observe] only from that domain. *)
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Empty the set in place, keeping its backing storage — lets a fuzz
+    loop reuse one scratch set per schedule instead of reallocating. *)
 
 val observe : t -> Event.t -> unit
 (** Fold one event into the set (usable directly as a trace sink's
@@ -43,7 +57,17 @@ val mem : t -> string -> bool
 val absorb : into:t -> t -> int
 (** [absorb ~into run] adds every key of [run] to [into] and returns
     how many were new — the fuzzer's "did this schedule reach anything
-    we have not seen" test. *)
+    we have not seen" test.  Same-domain absorbs are a bitset union;
+    sets minted on different domains are translated through their key
+    strings. *)
+
+val add_key : t -> string -> bool
+(** Add one key by name (interning it if needed); [true] if it was not
+    already present.  The receiving end of a cross-domain merge. *)
+
+val absorb_keys : into:t -> t -> string list
+(** Like {!absorb}, but returns the newly-added keys by name (sorted) —
+    what a fuzz domain ships through the corpus-merge queue. *)
 
 val key_of_event : Event.t -> string
 (** The unigram abstraction (exposed for tests). *)

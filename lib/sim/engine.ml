@@ -77,27 +77,36 @@ let schedule_now t f = push t ~time:t.clock f
 let pending t = Heap.size t.heap - t.daemons
 
 let step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some (time, _, f) ->
-      if time > t.clock then t.clock <- time;
-      t.fired <- t.fired + 1;
-      f ();
-      true
+  let time = Heap.min_time t.heap in
+  if time = Heap.no_event then false
+  else begin
+    let f = Heap.take t.heap in
+    if time > t.clock then t.clock <- time;
+    t.fired <- t.fired + 1;
+    f ();
+    true
+  end
 
+(* The inner loop fires millions of events per second, so the optional
+   bounds are hoisted to plain ints once and the heap is probed through
+   the flat [min_time]/[take] pair — no [option] or tuple is built per
+   event.  [Heap.no_event] is [max_int], so an empty heap also reads as
+   "past any bound". *)
 let run ?until ?max_events t =
+  let until = match until with Some u -> u | None -> max_int in
+  let budget = match max_events with Some m -> m | None -> max_int in
   let fired = ref 0 in
   let continue = ref true in
   while !continue do
-    (match until, Heap.peek_time t.heap with
-    | Some u, Some next when next > u -> continue := false
-    | _, None -> continue := false
-    | _ -> ());
-    if !continue then begin
-      (match max_events with
-      | Some m when !fired >= m -> raise Budget_exhausted
-      | _ -> ());
-      ignore (step t);
+    let next = Heap.min_time t.heap in
+    if next = Heap.no_event || next > until then continue := false
+    else begin
+      if !fired >= budget then raise Budget_exhausted;
+      let f = Heap.take t.heap in
+      if next > t.clock then t.clock <- next;
+      t.fired <- t.fired + 1;
+      f ();
       incr fired
     end
   done
+

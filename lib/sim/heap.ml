@@ -60,35 +60,47 @@ let push t ~time ~seq payload =
     i := p
   done
 
+(* Flat variant of [pop]: callers have already checked emptiness (via
+   [min_time]), so no option or tuple is built — the engine's inner
+   loop runs one of these per event. *)
+let take t =
+  if t.len = 0 then invalid_arg "Heap.take: empty";
+  let payload = match t.payloads.(0) with Some p -> p | None -> assert false in
+  t.len <- t.len - 1;
+  t.times.(0) <- t.times.(t.len);
+  t.seqs.(0) <- t.seqs.(t.len);
+  t.payloads.(0) <- t.payloads.(t.len);
+  (* Release the vacated slot — the payload must not outlive the pop. *)
+  t.payloads.(t.len) <- None;
+  if t.len > 0 then begin
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && lt t l !smallest then smallest := l;
+      if r < t.len && lt t r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  payload
+
 let pop t =
   if t.len = 0 then None
   else begin
     let time = t.times.(0) and seq = t.seqs.(0) in
-    let payload = match t.payloads.(0) with Some p -> p | None -> assert false in
-    t.len <- t.len - 1;
-    t.times.(0) <- t.times.(t.len);
-    t.seqs.(0) <- t.seqs.(t.len);
-    t.payloads.(0) <- t.payloads.(t.len);
-    (* Release the vacated slot — the payload must not outlive the pop. *)
-    t.payloads.(t.len) <- None;
-    if t.len > 0 then begin
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && lt t l !smallest then smallest := l;
-        if r < t.len && lt t r !smallest then smallest := r;
-        if !smallest <> !i then begin
-          swap t !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
+    let payload = take t in
     Some (time, seq, payload)
   end
+
+let no_event = max_int
+
+let min_time t = if t.len = 0 then no_event else t.times.(0)
 
 let peek_time t = if t.len = 0 then None else Some t.times.(0)
 

@@ -24,6 +24,18 @@ val push : 'a t -> time:int -> seq:int -> 'a -> unit
 val pop : 'a t -> (int * int * 'a) option
 (** Remove and return the minimum [(time, seq, payload)], if any. *)
 
+val no_event : int
+(** Sentinel returned by [min_time] on an empty heap ([max_int]). *)
+
+val min_time : 'a t -> int
+(** Time of the minimum element, or [no_event] if empty — the
+    allocation-free peek for hot loops. *)
+
+val take : 'a t -> 'a
+(** Remove the minimum element and return its payload without boxing
+    the key.  Raises [Invalid_argument] on an empty heap: pair it with
+    [min_time] in hot loops. *)
+
 val peek_time : 'a t -> int option
 (** Time of the minimum element without removing it. *)
 

@@ -51,6 +51,14 @@ let slot t name =
 
 let incr t name = incr (slot t name)
 
+type counter = int ref
+
+let counter t name = slot t name
+let counter_incr (c : counter) = Stdlib.incr c
+
+let counter_add (c : counter) v = c := !c + v
+let counter_get (c : counter) = !c
+
 let add t name v =
   let r = slot t name in
   r := !r + v

@@ -20,6 +20,20 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** Current value of a counter, 0 if never touched. *)
 
+type counter
+(** A resolved counter handle: the name lookup (and any key-string
+    construction) paid once instead of per bump.  For per-message hot
+    paths — the network resolves one handle per message kind instead of
+    concatenating a key string on every send.  {!reset} orphans
+    outstanding handles: re-resolve after a reset. *)
+
+val counter : t -> string -> counter
+(** Resolve (creating at 0 if needed). *)
+
+val counter_incr : counter -> unit
+val counter_add : counter -> int -> unit
+val counter_get : counter -> int
+
 val observe : t -> string -> float -> unit
 (** [observe t name v] appends [v] to the series [name]. *)
 

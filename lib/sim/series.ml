@@ -329,15 +329,32 @@ let close_one t =
   t.cur_index <- idx + 1;
   List.iter (fun hook -> hook ~index:idx agg) t.hooks
 
-(* Close every window that ends at or before [time].  The loop walks
-   one window at a time so hooks see every index (a gap of empty
-   windows is real data — those windows were clean); the walk is
-   bounded by horizon/window, not by operation count. *)
+(* Close every window that ends at or before [time].  With close hooks
+   installed the loop walks one window at a time so hooks see every
+   index (a gap of empty windows is real data — those windows were
+   clean).  Without hooks a long gap fast-forwards in O(keep): only the
+   last [keep] windows are observable through [recent]/[merge_recent],
+   and every one of the skipped windows is empty, so it suffices to
+   close the (possibly non-empty) current window normally and then
+   bulk-account the rest — bump [closed], jump [cur_index].  Stale ring
+   slots left behind by the jump self-invalidate: readers accept a slot
+   only when [ring_index.(slot)] equals the index they are asking for,
+   so skipped-over windows correctly read back as empty.  This keeps a
+   pathological 10^7-tick gap between observations (e.g. an idle shard
+   against a 1-tick window) from materializing 10^7 aggregates one by
+   one. *)
 let roll_to t ~time =
   let target = index_of t time in
-  while t.cur_index < target do
-    close_one t
-  done
+  if t.hooks = [] && target - t.cur_index > t.keep then begin
+    close_one t;
+    let skipped = target - t.cur_index in
+    t.closed <- t.closed + skipped;
+    t.cur_index <- target
+  end
+  else
+    while t.cur_index < target do
+      close_one t
+    done
 
 let observe t ~time v =
   roll_to t ~time;

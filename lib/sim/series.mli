@@ -106,7 +106,11 @@ val incr : t -> time:int -> unit
 
 val roll_to : t -> time:int -> unit
 (** Close every window ending at or before [time] without recording
-    anything — the end-of-run flush. *)
+    anything — the end-of-run flush.  Gaps longer than [keep] windows
+    fast-forward in O(keep) when no {!on_close} hooks are installed
+    (only the last [keep] windows are observable, and the skipped ones
+    are all empty); with hooks, every index is closed individually so
+    hooks see the full sequence. *)
 
 val current : t -> Agg.t
 (** The open window. *)

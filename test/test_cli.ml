@@ -100,6 +100,35 @@ let test_corpus_exit_codes () =
   | Some flipped -> write_file (Filename.concat bad "flipped.trace") flipped);
   check_exit "flipped verdict exits 2" 2 (sh "%s corpus %s >/dev/null 2>&1" exe bad)
 
+(* Domain-parallel fuzzing end to end: the same seed and domain count
+   must produce a byte-identical merged corpus run over run, and every
+   retained entry must replay to its recorded verdict through the
+   ordinary corpus machinery — the CLI half of the corpus-union
+   property test_fuzz checks in-process. *)
+let test_fuzz_domains_cli () =
+  let run_campaign dir =
+    sh "%s fuzz -n 6 --clients 3 --ops 8 --iters 12 --seed 11 --domains 2 --save-corpus %s -q >/dev/null 2>&1"
+      exe dir
+  in
+  let d1 = temp_dir "domcorpus1" and d2 = temp_dir "domcorpus2" in
+  check_exit "fuzz --domains 2 exits clean on the safe topology" 0 (run_campaign d1);
+  check_exit "second identical campaign exits clean" 0 (run_campaign d2);
+  let entries dir = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  let e1 = entries d1 and e2 = entries d2 in
+  Alcotest.(check bool) "campaign retained corpus entries" true (e1 <> []);
+  Alcotest.(check (list string)) "same entry set run over run" e1 e2;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s byte-identical across runs" f)
+        true
+        (read_file (Filename.concat d1 f) = read_file (Filename.concat d2 f)))
+    e1;
+  check_exit "multi-domain corpus replays to recorded verdicts" 0
+    (sh "%s corpus %s >/dev/null 2>&1" exe d1);
+  check_exit "fuzz rejects --domains 0" 1
+    (sh "%s fuzz -n 6 --clients 3 --ops 8 --iters 2 --seed 11 --domains 0 -q >/dev/null 2>&1" exe)
+
 (* fuzz: the safe topology smoke-tests clean; the known-bad n = 5f
    topology yields a saved finding, which shrinks to a minimal trace
    that replays bit-for-bit. *)
@@ -284,4 +313,6 @@ let suite =
     Alcotest.test_case "corpus directory exit codes" `Quick test_corpus_exit_codes;
     Alcotest.test_case "fuzz smoke and fuzz->shrink->replay loop" `Slow
       test_fuzz_smoke_and_shrink_loop;
+    Alcotest.test_case "fuzz --domains: deterministic corpus, replayable" `Slow
+      test_fuzz_domains_cli;
   ]

@@ -131,9 +131,120 @@ let test_classify_taxonomy () =
           ~violations:[ "stale" ] sc)
     = [ `Violation "stale"; `Starved ])
 
+(* ---- domain-parallel campaigns --------------------------------- *)
+
+(* Reference implementation of the merge: concatenate per-domain
+   corpora in domain order, keeping the first occurrence of each
+   scenario. *)
+let corpus_union per_domain_corpora =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (List.filter (fun s ->
+         if Hashtbl.mem seen s then false
+         else begin
+           Hashtbl.add seen s ();
+           true
+         end))
+    per_domain_corpora
+
+let test_parallel_equals_sequential () =
+  let iterations = 25 in
+  List.iter
+    (fun domains ->
+      let p = Fuzz.run_parallel ~base:good_base ~iterations ~domains ~seed:17L () in
+      Alcotest.(check int) "one report per domain" domains (List.length p.per_domain);
+      let seq =
+        List.init domains (fun i ->
+            Fuzz.run ~base:good_base ~iterations ~seed:(Fuzz.domain_seed ~seed:17L i) ())
+      in
+      List.iteri
+        (fun i (dr : Fuzz.domain_report) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "domain %d of %d: report == single-threaded report" i domains)
+            true
+            (dr.report = List.nth seq i))
+        p.per_domain;
+      Alcotest.(check bool) "merged corpus = union of per-domain corpora" true
+        (p.merged_corpus = corpus_union (List.map (fun (r : Fuzz.report) -> r.corpus) seq)))
+    [ 1; 2; 3 ]
+
+(* Every merged key was minted by some retained run, retained runs are
+   in the merged corpus, and execution is deterministic per scenario —
+   so re-executing the merged corpus must reconstruct exactly the
+   merged coverage. *)
+let test_parallel_merged_coverage_reconstructs () =
+  let p = Fuzz.run_parallel ~base:good_base ~iterations:20 ~domains:2 ~seed:21L () in
+  let u = Coverage.create () in
+  List.iter
+    (fun s ->
+      match Scenario.execute s with
+      | Error e -> Alcotest.failf "merged corpus entry failed to execute: %s" e
+      | Ok r -> ignore (Coverage.absorb ~into:u (Coverage.of_events r.events) : int))
+    p.merged_corpus;
+  Alcotest.(check int) "merged coverage = union over merged corpus" (Coverage.cardinal u)
+    p.merged_coverage
+
+let qcheck_parallel_corpus_union =
+  QCheck.Test.make ~name:"fuzz: merged multi-domain corpus = union of single-domain corpora"
+    ~count:5
+    QCheck.(pair (int_range 2 3) small_nat)
+    (fun (domains, seed0) ->
+      let seed = Int64.of_int (seed0 + 1) in
+      let iterations = 10 in
+      let p = Fuzz.run_parallel ~base:good_base ~iterations ~domains ~seed () in
+      let seq =
+        List.init domains (fun i ->
+            (Fuzz.run ~base:good_base ~iterations ~seed:(Fuzz.domain_seed ~seed i) ()).corpus)
+      in
+      p.merged_corpus = corpus_union seq)
+
+let test_coverage_cross_domain () =
+  match Scenario.execute good_base with
+  | Error e -> Alcotest.failf "execute: %s" e
+  | Ok r ->
+      let here = Coverage.of_events r.events in
+      (* the same scenario on another domain reaches the same keys,
+         even though that domain minted its own intern ids *)
+      let remote =
+        Domain.join
+          (Domain.spawn (fun () ->
+               match Scenario.execute good_base with
+               | Ok r -> Coverage.of_events r.events
+               | Error e -> failwith e))
+      in
+      Alcotest.(check (list string)) "same keys across domains" (Coverage.keys here)
+        (Coverage.keys remote);
+      (* cross-domain absorb translates through strings *)
+      let into = Coverage.create () in
+      let added = Coverage.absorb ~into remote in
+      Alcotest.(check int) "cross-domain absorb adds everything" (Coverage.cardinal remote) added;
+      Alcotest.(check int) "nothing further from the local copy" 0 (Coverage.absorb ~into here);
+      (* and the string-batch path (the merge queue's wire format) *)
+      let via_keys = Coverage.create () in
+      List.iter (fun k -> ignore (Coverage.add_key via_keys k : bool)) (Coverage.keys remote);
+      Alcotest.(check int) "key-batch merge matches" (Coverage.cardinal here)
+        (Coverage.cardinal via_keys)
+
+let test_par_map_slices_ordered () =
+  let items = Array.init 23 (fun i -> i) in
+  let doubled = Sbft_harness.Par.map_slices ~domains:3 items (fun idx v -> (idx, v * 2)) in
+  Alcotest.(check int) "length preserved" 23 (Array.length doubled);
+  Array.iteri
+    (fun i (idx, v) ->
+      Alcotest.(check int) "index order preserved" i idx;
+      Alcotest.(check int) "value mapped" (2 * i) v)
+    doubled
+
 let suite =
   [
     Alcotest.test_case "campaigns are deterministic per seed" `Quick test_campaign_deterministic;
+    Alcotest.test_case "parallel: per-domain reports match single-threaded" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "parallel: merged coverage reconstructs from merged corpus" `Quick
+      test_parallel_merged_coverage_reconstructs;
+    QCheck_alcotest.to_alcotest qcheck_parallel_corpus_union;
+    Alcotest.test_case "coverage: cross-domain key exchange" `Quick test_coverage_cross_domain;
+    Alcotest.test_case "par: map_slices keeps item order" `Quick test_par_map_slices_ordered;
     Alcotest.test_case "mutants stay inside caps and model" `Quick test_mutants_stay_capped;
     Alcotest.test_case "n=5f: fuzz finds a violation, shrink compresses it" `Quick
       test_n5_finds_violation_and_shrinks;

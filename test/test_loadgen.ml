@@ -70,6 +70,58 @@ let test_zipf_gof () =
   (* s = 0 degenerates to uniform *)
   zipf_gof ~seed:11L ~s:0.0 ()
 
+(* The sampler's domain boundaries: s = 0 and keys = 1 are defined (and
+   exact), s < 0 / NaN / keys < 1 are rejected — never a clamped or
+   NaN-poisoned CDF. *)
+let test_zipf_boundaries () =
+  (* s = 0: exactly uniform, cdf rank i = (i+1)/n with no float slack
+     beyond the division itself *)
+  let n = 7 in
+  let cdf = Workload.zipf_cdf ~keys:n ~s:0.0 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "uniform cdf rank %d" i)
+        (float_of_int (i + 1) /. float_of_int n)
+        c)
+    cdf;
+  (* keys = 1: the constant sampler — cdf [|1.0|], every draw rank 0 *)
+  let one = Workload.zipf_cdf ~keys:1 ~s:1.1 in
+  Alcotest.(check int) "singleton cdf length" 1 (Array.length one);
+  Alcotest.(check (float 0.0)) "singleton cdf mass" 1.0 one.(0);
+  let rng = Rng.create 13L in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "singleton pick" 0 (Workload.zipf_pick rng one)
+  done;
+  (* rejections *)
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  rejects "keys = 0" (fun () -> Workload.zipf_cdf ~keys:0 ~s:1.1);
+  rejects "keys < 0" (fun () -> Workload.zipf_cdf ~keys:(-3) ~s:1.1);
+  rejects "s < 0" (fun () -> Workload.zipf_cdf ~keys:8 ~s:(-0.1));
+  rejects "s NaN" (fun () -> Workload.zipf_cdf ~keys:8 ~s:Float.nan)
+
+(* Structural soundness of the CDF across the whole accepted domain:
+   strictly increasing, capped by 1, and the last entry is exactly the
+   full mass — the invariants [zipf_pick]'s binary search relies on. *)
+let qcheck_zipf_cdf_sound =
+  QCheck.Test.make ~count:300 ~name:"loadgen: zipf cdf monotone in (0,1] for all keys>=1, s>=0"
+    QCheck.(pair (int_range 1 200) (int_range 0 300))
+    (fun (keys, centi_s) ->
+      let s = float_of_int centi_s /. 100.0 in
+      let cdf = Workload.zipf_cdf ~keys ~s in
+      let ok = ref (Array.length cdf = keys) in
+      let prev = ref 0.0 in
+      Array.iter
+        (fun c ->
+          ok := !ok && c > !prev && c <= 1.0 +. 1e-9;
+          prev := c)
+        cdf;
+      !ok && Float.abs (cdf.(keys - 1) -. 1.0) < 1e-9)
+
 (* -- Poisson arrivals -------------------------------------------------- *)
 
 (* Counts in disjoint unit tick intervals of a rate-lambda Poisson
@@ -160,6 +212,49 @@ let test_ramp_shape () =
     true
     (!late > 2 * !early)
 
+(* The A = B edge of a ramp: [ramp:R..R] must be the same schedule as
+   [const:R] — not statistically, not within tolerance, but the same
+   list of slots, slot for slot.  [schedule] normalizes the degenerate
+   ramp to [Const] up front, so this holds structurally; the test pins
+   it across rates that exercise sub-tick gaps, multi-tick gaps, and
+   exact-tick gaps, plus the one-tick-duration edge and the ops-cap
+   interaction (the cap must bite at the same arrival either way). *)
+let test_ramp_flat_equals_const () =
+  let cases =
+    [
+      (2.5, 1_000, None);
+      (0.3, 5_000, None);
+      (40.0, 200, None);
+      (1.0, 1_000, None) (* gap exactly 1.0: every arrival on a tick boundary *);
+      (7.0, 1, None) (* one-tick duration: the whole run is the frac=0 edge *);
+      (0.4, 1, None) (* one-tick duration, sub-unit rate: empty schedule *);
+      (3.0, 10_000, Some 41) (* ops cap cuts the schedule mid-ramp *);
+    ]
+  in
+  List.iter
+    (fun (rate, duration, ops) ->
+      let ramp = Loadgen.schedule ?ops ~rng:(Rng.create 1L) ~duration (Loadgen.Ramp (rate, rate)) in
+      let const = Loadgen.schedule ?ops ~rng:(Rng.create 1L) ~duration (Loadgen.Const rate) in
+      Alcotest.(check bool)
+        (Printf.sprintf "ramp:%g..%g == const:%g over %d ticks (slot-for-slot)" rate rate rate
+           duration)
+        true (ramp = const))
+    cases;
+  (* and the one-tick edge is not vacuous for super-unit rates: the
+     single in-range tick still carries its arrivals *)
+  let slots = Loadgen.schedule ~rng:(Rng.create 1L) ~duration:1 (Loadgen.Ramp (7.0, 7.0)) in
+  (* 7 * (1/7) accumulates to just under 1.0, so all 7 arrivals fit *)
+  Alcotest.(check int) "duration=1 at rate 7 lands 7 arrivals in tick 1" 7 (total_arrivals slots);
+  List.iter (fun { Loadgen.at; _ } -> Alcotest.(check int) "all in tick 1" 1 at) slots
+
+let qcheck_ramp_flat_equals_const =
+  QCheck.Test.make ~count:200 ~name:"loadgen: ramp:R..R == const:R slot-for-slot"
+    QCheck.(pair (int_range 1 9999) (int_range 1 2_000))
+    (fun (millirate, duration) ->
+      let rate = float_of_int millirate /. 100.0 in
+      Loadgen.schedule ~rng:(Rng.create 1L) ~duration (Loadgen.Ramp (rate, rate))
+      = Loadgen.schedule ~rng:(Rng.create 1L) ~duration (Loadgen.Const rate))
+
 let test_ops_cap () =
   let rng = Rng.create 5L in
   let slots = Loadgen.schedule ~ops:37 ~rng ~duration:100_000 (Loadgen.Poisson 0.7) in
@@ -215,6 +310,12 @@ let test_typed_errors () =
     | _ -> false);
   check_invalid "zero keys" { default with keys = 0 } (function
     | Invalid_keys _ -> true
+    | _ -> false);
+  check_invalid "negative zipf exponent" { default with zipf_s = -0.5 } (function
+    | Invalid_zipf s -> s = -0.5
+    | _ -> false);
+  check_invalid "NaN zipf exponent" { default with zipf_s = Float.nan } (function
+    | Invalid_zipf s -> Float.is_nan s
     | _ -> false);
   (* the same errors surface as exceptions from run and schedule *)
   let store = Store.create ~seed:3L ~trace_level:Sbft_sim.Trace.Off ~shards:2 ~n:6 ~f:1 ~clients:2 () in
@@ -368,9 +469,14 @@ let suite =
   [
     Alcotest.test_case "zipf cdf matches the analytic weights" `Quick test_zipf_cdf_analytic;
     Alcotest.test_case "zipf sampler passes chi-squared GOF" `Quick test_zipf_gof;
+    Alcotest.test_case "zipf boundaries: s=0 and keys=1 defined, rest rejected" `Quick
+      test_zipf_boundaries;
+    QCheck_alcotest.to_alcotest qcheck_zipf_cdf_sound;
     Alcotest.test_case "poisson per-tick batches pass chi-squared GOF" `Quick test_poisson_gof;
     Alcotest.test_case "constant rate is exact" `Quick test_const_rate_exact;
     Alcotest.test_case "ramp sweeps the rate" `Quick test_ramp_shape;
+    Alcotest.test_case "flat ramp == const, slot for slot" `Quick test_ramp_flat_equals_const;
+    QCheck_alcotest.to_alcotest qcheck_ramp_flat_equals_const;
     Alcotest.test_case "ops cap pins the schedule" `Quick test_ops_cap;
     QCheck_alcotest.to_alcotest qcheck_schedule_deterministic;
     Alcotest.test_case "typed errors, never a silent clamp" `Quick test_typed_errors;

@@ -131,8 +131,24 @@ let qcheck_equiv_valid =
       let sweep = Reg.check ~ts_prec:prec h in
       sweep = Oracle.check ~ts_prec:prec h && Reg.ok sweep)
 
+(* Domain fan-out of the same equivalence property: [same_report] is a
+   pure function of its seed, so a seed block partitions across domains
+   with no effect on which checks run or what they verify — the suite's
+   wall-clock scales down with cores, its verdicts do not change. *)
+let test_equiv_parallel_sweep () =
+  let seeds = Array.init 600 (fun i -> 7_000_000 + (i * 131)) in
+  let domains = min 4 (Sbft_harness.Par.recommended_domains ()) in
+  let ok =
+    Sbft_harness.Par.map_slices ~domains seeds (fun _ seed ->
+        same_report seed ~allow_illformed:(seed mod 3 = 0))
+  in
+  Alcotest.(check int) "all seeds checked" (Array.length seeds) (Array.length ok);
+  Array.iter (fun b -> Alcotest.(check bool) "sweep == scan" true b) ok
+
 let suite =
   [
+    Alcotest.test_case "equivalence sweep fans out across domains" `Quick
+      test_equiv_parallel_sweep;
     QCheck_alcotest.to_alcotest qcheck_equiv_wellformed;
     QCheck_alcotest.to_alcotest qcheck_equiv_illformed;
     QCheck_alcotest.to_alcotest qcheck_order_equiv;

@@ -124,6 +124,70 @@ let test_series_windows () =
   Alcotest.(check int) "window 3 count" 1 (agg 3).Series.Agg.count;
   Alcotest.(check int) "total count" 3 (Series.total s).Series.Agg.count
 
+(* A pathological gap between observations — 10^7 ticks against a
+   1-tick window, the idle-shard shape — must fast-forward instead of
+   materializing 10^7 aggregates.  The fast path and the one-at-a-time
+   walk must be indistinguishable through the public API: same closed
+   count, same recent windows (all empty but the endpoints), same
+   totals, and later observations land in the right windows. *)
+let test_series_pathological_gap () =
+  let s = Series.create ~window:1 ~keep:8 ~name:"gap" () in
+  Series.observe s ~time:0 1.0;
+  (* the 10^7-tick jump: must complete instantly, not in 10^7 steps *)
+  Series.observe s ~time:10_000_000 2.0;
+  Alcotest.(check int) "all skipped windows accounted" 10_000_000 (Series.closed_windows s);
+  let recent = Series.recent s () in
+  Alcotest.(check int) "recent bounded by keep" 8 (List.length recent);
+  List.iter
+    (fun (idx, agg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d reads back empty" idx)
+        true (Series.Agg.is_empty agg))
+    recent;
+  (* the open window carries the post-gap observation; close it and a
+     couple more and re-read *)
+  Series.observe s ~time:10_000_001 3.0;
+  Series.roll_to s ~time:10_000_004;
+  let agg idx = List.assoc idx (Series.recent s ()) in
+  Alcotest.(check int) "post-gap window count" 1 (agg 10_000_000).Series.Agg.count;
+  Alcotest.(check int) "next window count" 1 (agg 10_000_001).Series.Agg.count;
+  Alcotest.(check bool) "tail empty" true (Series.Agg.is_empty (agg 10_000_002));
+  Alcotest.(check int) "total unaffected" 3 (Series.total s).Series.Agg.count;
+  (* same run, gap short of the fast-forward threshold: the two paths
+     agree window for window *)
+  let slow = Series.create ~window:1 ~keep:8 ~name:"slow" () in
+  let fast = Series.create ~window:1 ~keep:8 ~name:"fast" () in
+  Series.observe slow ~time:0 1.0;
+  Series.observe fast ~time:0 1.0;
+  for t = 1 to 20 do
+    Series.roll_to slow ~time:t (* gap 1 every step: always walks *)
+  done;
+  Series.roll_to fast ~time:20 (* gap 20 > keep: jumps *);
+  Alcotest.(check int) "paths agree on closed" (Series.closed_windows slow)
+    (Series.closed_windows fast);
+  List.iter2
+    (fun (i, a) (j, b) ->
+      Alcotest.(check int) "same indices" i j;
+      Alcotest.(check int) "same counts" a.Series.Agg.count b.Series.Agg.count)
+    (Series.recent slow ()) (Series.recent fast ())
+
+(* With an [on_close] hook installed the fast path must stand down:
+   hooks contract to see every window index exactly once, in order,
+   empties included. *)
+let test_series_gap_with_hooks () =
+  let s = Series.create ~window:10 ~keep:4 ~name:"hooked" () in
+  let seen = ref [] in
+  Series.on_close s (fun ~index agg -> seen := (index, agg.Series.Agg.count) :: !seen);
+  Series.observe s ~time:5 1.0;
+  Series.roll_to s ~time:400 (* 40 windows, far beyond keep=4 *);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "hook saw every window" 40 (List.length seen);
+  List.iteri
+    (fun i (idx, count) ->
+      Alcotest.(check int) "indices dense and ordered" i idx;
+      Alcotest.(check int) "only window 0 dirty" (if i = 0 then 1 else 0) count)
+    seen
+
 let test_series_fleet_rollup () =
   let a = Series.create ~window:10 ~name:"a" () and b = Series.create ~window:10 ~name:"b" () in
   Series.observe a ~time:5 1.0;
@@ -318,6 +382,9 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_merge_matches_direct;
     QCheck_alcotest.to_alcotest qcheck_merge_associative;
     Alcotest.test_case "tumbling windows materialize empties" `Quick test_series_windows;
+    Alcotest.test_case "10^7-tick gaps fast-forward, read back empty" `Quick
+      test_series_pathological_gap;
+    Alcotest.test_case "close hooks disable the gap fast path" `Quick test_series_gap_with_hooks;
     Alcotest.test_case "fleet rollup merges point-wise" `Quick test_series_fleet_rollup;
     Alcotest.test_case "detector stabilizes through gaps" `Quick test_detector_basic;
     Alcotest.test_case "late dirt revokes a declaration" `Quick test_detector_revocation;
